@@ -1,0 +1,254 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5) at CI scale, the ablation benches DESIGN.md calls out, and
+// micro-benchmarks of the substrates. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benches report ns/op for a full regeneration of the
+// figure's data at the benchmark world's scale; EXPERIMENTS.md records the
+// actual series produced at the default preset.
+package uerl
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/errlog"
+	"repro/internal/evalx"
+	"repro/internal/experiments"
+	"repro/internal/features"
+	"repro/internal/jobs"
+	"repro/internal/mathx"
+	"repro/internal/nn"
+	"repro/internal/policies"
+	"repro/internal/rf"
+	"repro/internal/rl"
+	"repro/internal/telemetry"
+)
+
+var (
+	benchWorldOnce sync.Once
+	benchWorld     *experiments.World
+)
+
+// world returns a shared CI-scale world for the figure benches.
+func world(b *testing.B) *experiments.World {
+	b.Helper()
+	benchWorldOnce.Do(func() {
+		benchWorld = experiments.BuildWorld(experiments.ScaleFor(evalx.PresetCI))
+	})
+	return benchWorld
+}
+
+// ---- One benchmark per paper table/figure (DESIGN.md §3) ----
+
+// BenchmarkFig3CostBenefit regenerates Figure 3: the total-cost comparison
+// of all eight approaches at 2, 5 and 10 node-minute mitigation costs.
+func BenchmarkFig3CostBenefit(b *testing.B) {
+	w := world(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig3(w)
+		r.Render(io.Discard)
+	}
+}
+
+// BenchmarkFig4TimeSeries regenerates Figure 4: per-split totals.
+func BenchmarkFig4TimeSeries(b *testing.B) {
+	w := world(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig4(w)
+		r.Render(io.Discard)
+	}
+}
+
+// BenchmarkFig5Manufacturers regenerates Figure 5: MN/All, MN/A, MN/B,
+// MN/C and MN/ABC.
+func BenchmarkFig5Manufacturers(b *testing.B) {
+	w := world(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig5(w)
+		r.Render(io.Discard)
+	}
+}
+
+// BenchmarkFig6Behavior regenerates Figure 6: the agent-behaviour heat map
+// over potential UE cost × RF-predicted probability.
+func BenchmarkFig6Behavior(b *testing.B) {
+	w := world(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig6(w)
+		r.Render(io.Discard)
+	}
+}
+
+// BenchmarkTable2Metrics regenerates Table 2: classification metrics for
+// all approaches plus the RL uniform-cost-range rows.
+func BenchmarkTable2Metrics(b *testing.B) {
+	w := world(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable2(w)
+		r.Render(io.Discard)
+	}
+}
+
+// BenchmarkFig7JobScaling regenerates Figure 7 (both 7a total cost and 7b
+// mitigation cost) over a reduced factor sweep.
+func BenchmarkFig7JobScaling(b *testing.B) {
+	w := world(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig7(w, []float64{0.1, 1, 10})
+		r.Render(io.Discard)
+	}
+}
+
+// BenchmarkLogGeneration regenerates the §2.1 synthetic log and its
+// calibration summary.
+func BenchmarkLogGeneration(b *testing.B) {
+	w := world(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunCalibration(w)
+		r.Render(io.Discard)
+	}
+}
+
+// ---- Ablation benches (DESIGN.md §5) ----
+
+// BenchmarkAblationPER compares PER against uniform replay (and the other
+// DESIGN.md ablations) on one split; the rendered table carries the costs.
+func BenchmarkAblationPER(b *testing.B) {
+	w := world(b)
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunAblation(w)
+		r.Render(io.Discard)
+	}
+}
+
+// ---- Substrate micro-benchmarks ----
+
+// BenchmarkNNForward measures one forward pass of the paper's
+// 256-256-128-64 dueling architecture.
+func BenchmarkNNForward(b *testing.B) {
+	net := nn.New(nn.Config{Inputs: features.Dim, Hidden: []int{256, 256, 128, 64},
+		Outputs: 2, Dueling: true, Seed: 1})
+	s := net.NewScratch()
+	x := make([]float64, features.Dim)
+	for i := range x {
+		x[i] = float64(i) * 0.1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardInto(s, x)
+	}
+}
+
+// BenchmarkNNTrainStep measures forward+backward+Adam on the paper's
+// architecture.
+func BenchmarkNNTrainStep(b *testing.B) {
+	net := nn.New(nn.Config{Inputs: features.Dim, Hidden: []int{256, 256, 128, 64},
+		Outputs: 2, Dueling: true, Seed: 1})
+	s := net.NewScratch()
+	opt := &nn.Adam{LR: 1e-3}
+	x := make([]float64, features.Dim)
+	dOut := []float64{0.1, -0.1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardInto(s, x)
+		net.ZeroGrad()
+		net.Backward(s, dOut)
+		opt.Step(net.Params())
+	}
+}
+
+// BenchmarkPERSample measures prioritized replay sampling at DQN batch
+// size from a full buffer.
+func BenchmarkPERSample(b *testing.B) {
+	p := rl.NewPrioritizedReplay(rl.PERConfig{Capacity: 1 << 16})
+	tr := rl.Transition{S: make([]float64, features.Dim), NextS: make([]float64, features.Dim)}
+	for i := 0; i < 1<<16; i++ {
+		p.Add(tr)
+	}
+	rng := mathx.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Sample(rng, 32)
+	}
+}
+
+// BenchmarkForestPredict measures one SC20-RF score on a 100-tree forest.
+func BenchmarkForestPredict(b *testing.B) {
+	rng := mathx.NewRNG(1)
+	var x [][]float64
+	var y []bool
+	for i := 0; i < 2000; i++ {
+		v := make([]float64, features.PredictorDim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		x = append(x, v)
+		y = append(y, rng.Bool(0.1))
+	}
+	forest := rf.TrainForest(x, y, rf.DefaultForestConfig())
+	probe := x[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		forest.PredictProb(probe)
+	}
+}
+
+// BenchmarkFeatureTracker measures per-tick feature extraction.
+func BenchmarkFeatureTracker(b *testing.B) {
+	t0 := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	tick := errlog.Tick{Time: t0, Node: 1, Events: []errlog.Event{{
+		Time: t0, Node: 1, DIMM: 8, Type: errlog.CE, Count: 17,
+		Rank: 1, Bank: 3, Row: 900, Col: 12,
+	}}}
+	tr := features.NewTracker()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tick.Time = t0.Add(time.Duration(i) * time.Minute)
+		tick.Events[0].Time = tick.Time
+		tr.Observe(tick, 100)
+		if i%4096 == 0 {
+			tr.CompactHistory(tick.Time)
+		}
+	}
+}
+
+// BenchmarkReplayNever measures the policy-replay engine throughput with a
+// no-op policy over the full CI-scale log.
+func BenchmarkReplayNever(b *testing.B) {
+	w := world(b)
+	pre := errlog.Preprocess(w.Log)
+	byNode := env.GroupTicks(errlog.Merge(pre, errlog.MergeWindow))
+	sampler := jobs.NewSampler(w.Trace)
+	cfg := evalx.ReplayConfig{Env: env.DefaultConfig(), JobSeed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evalx.Replay(noopDecider{}, byNode, sampler, cfg)
+	}
+}
+
+type noopDecider struct{}
+
+func (noopDecider) Name() string                 { return "noop" }
+func (noopDecider) Decide(policies.Context) bool { return false }
+
+// BenchmarkTelemetryFullScale generates the full 3056-node two-year log,
+// the paper's actual population.
+func BenchmarkTelemetryFullScale(b *testing.B) {
+	cfg := telemetry.Default()
+	for i := 0; i < b.N; i++ {
+		l := telemetry.Generate(cfg)
+		if len(l.Events) == 0 {
+			b.Fatal("empty log")
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command uerleval runs the paper's cost–benefit evaluation (time-series
+// nested cross-validation over all §4.2 policies) on a synthetic world and
+// prints the node–hour totals.
+//
+// Usage:
+//
+//	uerleval [-budget ci|default|paper] [-seed 1] [-mitcost 2]
+//	         [-manufacturer A|B|C] [-jobscale 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	uerl "repro"
+)
+
+func main() {
+	budget := flag.String("budget", "ci", "compute budget: ci, default or paper")
+	seed := flag.Int64("seed", 1, "random seed")
+	mitcost := flag.Float64("mitcost", 2, "mitigation cost in node-minutes")
+	manufacturer := flag.String("manufacturer", "", "evaluate one DRAM manufacturer partition (A, B or C)")
+	jobscale := flag.Float64("jobscale", 1, "job size scaling factor (§5.6)")
+	flag.Parse()
+
+	b, err := parseBudget(*budget)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := uerl.DefaultConfig(b)
+	cfg.Seed = *seed
+	cfg.MitigationCostNodeMinutes = *mitcost
+
+	fmt.Println("generating synthetic world...")
+	sys := uerl.NewSystem(cfg)
+
+	var rep uerl.Report
+	switch {
+	case *manufacturer != "":
+		rep, err = sys.EvaluateManufacturer(*manufacturer)
+	case *jobscale != 1:
+		rep, err = sys.EvaluateJobScale(*jobscale)
+	default:
+		rep = sys.Evaluate()
+	}
+	if err != nil {
+		fatal(err)
+	}
+	rep.Render(os.Stdout)
+
+	if never, ok := rep.Find("Never-mitigate"); ok {
+		if rl, ok := rep.Find("RL"); ok && never.TotalNodeHours > 0 {
+			saving := 1 - rl.TotalNodeHours/never.TotalNodeHours
+			fmt.Printf("\nRL reduces lost compute time by %.0f%% vs no mitigation\n", 100*saving)
+		}
+	}
+}
+
+func parseBudget(s string) (uerl.Budget, error) {
+	switch s {
+	case "ci":
+		return uerl.BudgetCI, nil
+	case "default":
+		return uerl.BudgetDefault, nil
+	case "paper":
+		return uerl.BudgetPaper, nil
+	}
+	return 0, fmt.Errorf("unknown budget %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uerleval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Command uerlexp regenerates the paper's tables and figures from the
+// synthetic world: fig3, fig4, fig5, fig6, table2, fig7, the §2.1
+// calibration check, and the DESIGN.md ablations.
+//
+// Usage:
+//
+//	uerlexp [-budget ci|default|paper] [-seed 1] [experiment ...]
+//
+// With no arguments it runs every experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	uerl "repro"
+)
+
+func main() {
+	budget := flag.String("budget", "ci", "compute budget: ci, default or paper")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	b, err := parseBudget(*budget)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := uerl.DefaultConfig(b)
+	cfg.Seed = *seed
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = uerl.ExperimentNames()
+	}
+
+	fmt.Println("generating synthetic world...")
+	sys := uerl.NewSystem(cfg)
+
+	for _, name := range names {
+		fmt.Printf("\n=== %s ===\n", name)
+		start := time.Now()
+		if err := sys.RunExperiment(name, os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(%s in %v)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func parseBudget(s string) (uerl.Budget, error) {
+	switch s {
+	case "ci":
+		return uerl.BudgetCI, nil
+	case "default":
+		return uerl.BudgetDefault, nil
+	case "paper":
+		return uerl.BudgetPaper, nil
+	}
+	return 0, fmt.Errorf("unknown budget %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uerlexp:", err)
+	os.Exit(1)
+}

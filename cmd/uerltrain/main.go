@@ -1,0 +1,64 @@
+// Command uerltrain trains the RL mitigation agent on a synthetic world
+// and saves the model as JSON for later use by uerleval or a Controller.
+//
+// Usage:
+//
+//	uerltrain [-budget ci|default|paper] [-seed 1] -out model.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	uerl "repro"
+)
+
+func main() {
+	budget := flag.String("budget", "ci", "compute budget: ci, default or paper")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "model.json", "model output path")
+	flag.Parse()
+
+	b, err := parseBudget(*budget)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := uerl.DefaultConfig(b)
+	cfg.Seed = *seed
+
+	fmt.Println("generating synthetic world...")
+	sys := uerl.NewSystem(cfg)
+	st := sys.LogStats()
+	fmt.Printf("log: %d events, %d first UEs, %d nodes\n", st.Events, st.FirstUEs, st.Nodes)
+
+	fmt.Println("training agent (paper protocol: first 75% of the log)...")
+	agent := sys.TrainAgent()
+
+	data, err := json.MarshalIndent(agent, "", " ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(data))
+}
+
+func parseBudget(s string) (uerl.Budget, error) {
+	switch s {
+	case "ci":
+		return uerl.BudgetCI, nil
+	case "default":
+		return uerl.BudgetDefault, nil
+	case "paper":
+		return uerl.BudgetPaper, nil
+	}
+	return 0, fmt.Errorf("unknown budget %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uerltrain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,157 @@
+package uerl
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/errlog"
+	"repro/internal/evalx"
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/rl"
+)
+
+// EventType classifies a telemetry event fed to a Controller.
+type EventType int
+
+const (
+	// CorrectedError is an ECC-corrected memory error record (possibly
+	// representing several errors via Count).
+	CorrectedError EventType = iota
+	// UEWarning is a firmware warning (correctable logging limit reached
+	// or thermal throttling).
+	UEWarning
+	// NodeBoot marks a node (re)boot.
+	NodeBoot
+)
+
+// Event is one node telemetry record, the online analogue of the log
+// records of §2.1. Location fields may be left -1 when unknown.
+type Event struct {
+	Time                 time.Time
+	Node                 int
+	DIMM                 int
+	Type                 EventType
+	Count                int
+	Rank, Bank, Row, Col int
+}
+
+// Agent is a trained mitigation agent plus the evaluation artifacts
+// produced alongside it.
+type Agent struct {
+	policy rl.Policy
+	net    *nn.Network
+}
+
+// TrainAgent trains an agent on the system's synthetic history using the
+// paper's protocol (training on the first 75% of the log). The budget in
+// the system's Config controls the episode and search budget.
+func (s *System) TrainAgent() *Agent {
+	split := evalx.TrainSingleSplit(s.world.Log, s.world.Trace, s.cvConfig(), 0.75)
+	a := &Agent{policy: split.Policy}
+	if split.Agent != nil {
+		a.net = split.Agent.Online().Clone()
+		pol := a.net
+		scr := pol.NewScratch()
+		a.policy = rl.PolicyFunc(func(state []float64) int {
+			q := pol.ForwardInto(scr, state)
+			if q[1] > q[0] {
+				return 1
+			}
+			return 0
+		})
+	}
+	return a
+}
+
+// MarshalJSON serializes the agent's network.
+func (a *Agent) MarshalJSON() ([]byte, error) {
+	if a.net == nil {
+		return nil, fmt.Errorf("uerl: agent has no serializable network")
+	}
+	return json.Marshal(a.net)
+}
+
+// UnmarshalJSON restores an agent serialized with MarshalJSON.
+func (a *Agent) UnmarshalJSON(data []byte) error {
+	var net nn.Network
+	if err := json.Unmarshal(data, &net); err != nil {
+		return err
+	}
+	if net.Config().Inputs != features.Dim {
+		return fmt.Errorf("uerl: model expects %d inputs, this build uses %d",
+			net.Config().Inputs, features.Dim)
+	}
+	a.net = &net
+	scr := net.NewScratch()
+	a.policy = rl.PolicyFunc(func(state []float64) int {
+		q := a.net.ForwardInto(scr, state)
+		if q[1] > q[0] {
+			return 1
+		}
+		return 0
+	})
+	return nil
+}
+
+// Controller consumes a live stream of node telemetry events and
+// recommends mitigations — the role of the monitoring-and-preprocessing
+// box of Fig. 1 combined with the trained agent. It is not safe for
+// concurrent use; wrap with a mutex if needed.
+type Controller struct {
+	agent    *Agent
+	trackers map[int]*features.Tracker
+}
+
+// NewController builds a controller around a trained agent.
+func NewController(agent *Agent) *Controller {
+	return &Controller{agent: agent, trackers: map[int]*features.Tracker{}}
+}
+
+// ObserveEvent ingests one telemetry event. Events must arrive in
+// non-decreasing time order per node.
+func (c *Controller) ObserveEvent(e Event) {
+	tr, ok := c.trackers[e.Node]
+	if !ok {
+		tr = features.NewTracker()
+		c.trackers[e.Node] = tr
+	}
+	var ev errlog.Event
+	ev.Time = e.Time
+	ev.Node = e.Node
+	ev.DIMM = e.DIMM
+	ev.Count = e.Count
+	if ev.Count <= 0 {
+		ev.Count = 1
+	}
+	ev.Rank, ev.Bank, ev.Row, ev.Col = e.Rank, e.Bank, e.Row, e.Col
+	switch e.Type {
+	case CorrectedError:
+		ev.Type = errlog.CE
+	case UEWarning:
+		ev.Type = errlog.UEWarning
+	case NodeBoot:
+		ev.Type = errlog.Boot
+	}
+	tr.Observe(errlog.Tick{Time: e.Time, Node: e.Node, Events: []errlog.Event{ev}}, 0)
+}
+
+// Recommend reports whether the agent would trigger a mitigation on the
+// node right now, given the potential UE cost of Eq. 3 (running job's node
+// count × node–hours lost if a UE struck now). This is the only workload
+// input the model needs.
+func (c *Controller) Recommend(node int, now time.Time, potentialCostNodeHours float64) bool {
+	tr, ok := c.trackers[node]
+	if !ok {
+		tr = features.NewTracker()
+		c.trackers[node] = tr
+	}
+	v := tr.Observe(errlog.Tick{Time: now, Node: node}, potentialCostNodeHours)
+	return c.agent.policy.Action(v.Normalized()) == 1
+}
+
+// Forget drops a node's accumulated state (e.g. after DIMM replacement).
+func (c *Controller) Forget(node int) {
+	delete(c.trackers, node)
+}

@@ -1,0 +1,72 @@
+// Quickstart: generate a small synthetic MareNostrum-style world, run the
+// paper's cost–benefit evaluation, then train an agent and ask it for live
+// mitigation recommendations through the Controller API.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	uerl "repro"
+)
+
+func main() {
+	// BudgetCI keeps everything in seconds: a ~120-node cluster over two
+	// years with the paper's fault-model calibration.
+	cfg := uerl.DefaultConfig(uerl.BudgetCI)
+	cfg.Seed = 42
+
+	fmt.Println("== generating synthetic cluster history ==")
+	sys := uerl.NewSystem(cfg)
+	st := sys.LogStats()
+	fmt.Printf("error log: %d events, %d corrected errors, %d uncorrected errors (%d after burst reduction)\n\n",
+		st.Events, st.TotalCEs, st.UEs, st.FirstUEs)
+
+	fmt.Println("== cost-benefit evaluation (time-series nested cross-validation) ==")
+	rep := sys.Evaluate()
+	rep.Render(os.Stdout)
+	if never, ok := rep.Find("Never-mitigate"); ok {
+		if rl, ok := rep.Find("RL"); ok && never.TotalNodeHours > 0 {
+			fmt.Printf("\nRL saves %.0f%% of lost compute vs no mitigation\n",
+				100*(1-rl.TotalNodeHours/never.TotalNodeHours))
+		}
+	}
+
+	fmt.Println("\n== live controller demo ==")
+	agent := sys.TrainAgent()
+	ctl := uerl.NewController(agent)
+
+	now := time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+	// Node 7 is healthy; node 8 shows an escalating corrected-error storm
+	// plus a firmware warning — the pre-UE signature.
+	ctl.ObserveEvent(uerl.Event{Time: now, Node: 7, Type: uerl.NodeBoot, DIMM: -1, Rank: -1, Bank: -1, Row: -1, Col: -1})
+	for i := 0; i < 40; i++ {
+		ctl.ObserveEvent(uerl.Event{
+			Time: now.Add(time.Duration(i) * time.Minute),
+			Node: 8, DIMM: 64, Type: uerl.CorrectedError, Count: 500,
+			Rank: 0, Bank: 3, Row: 4000 + i%3, Col: 17,
+		})
+	}
+	ctl.ObserveEvent(uerl.Event{Time: now.Add(40 * time.Minute), Node: 8, DIMM: 64,
+		Type: uerl.UEWarning, Rank: -1, Bank: -1, Row: -1, Col: -1})
+
+	for _, c := range []struct {
+		node int
+		cost float64
+		desc string
+	}{
+		{7, 10, "healthy node, small job"},
+		{7, 20000, "healthy node, huge job"},
+		{8, 10, "degrading node, small job"},
+		{8, 20000, "degrading node, huge job"},
+	} {
+		rec := ctl.Recommend(c.node, now.Add(time.Hour), c.cost)
+		fmt.Printf("  node %d, potential loss %7.0f node-hours (%s): mitigate=%v\n",
+			c.node, c.cost, c.desc, rec)
+	}
+}

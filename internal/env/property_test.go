@@ -1,0 +1,81 @@
+package env
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/errlog"
+	"repro/internal/jobs"
+	"repro/internal/mathx"
+)
+
+// TestTimelineCostNeverNegative: whatever interleaving of advances,
+// mitigations and UEs, the potential cost is never negative.
+func TestTimelineCostNeverNegative(t *testing.T) {
+	f := func(ops []uint8) bool {
+		trace := []jobs.Job{
+			{ID: 1, Nodes: 4, Duration: 5 * time.Hour},
+			{ID: 2, Nodes: 32, Duration: 30 * time.Hour},
+		}
+		tl := NewTimeline(jobs.NewSampler(trace), mathx.NewRNG(1), true, time.Unix(0, 0))
+		now := time.Unix(0, 0)
+		for _, op := range ops {
+			now = now.Add(time.Duration(op%48) * time.Hour / 2)
+			tl.AdvanceTo(now)
+			switch op % 3 {
+			case 0:
+				if tl.CostAt(now) < 0 {
+					return false
+				}
+			case 1:
+				tl.Mitigate(now)
+				if tl.CostAt(now) != 0 {
+					return false // restartable mitigation zeroes the cost
+				}
+			case 2:
+				if tl.OnUE(now) < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnvEpisodeRewardsNonPositive: every reward in the mitigation MDP is
+// a cost, i.e. <= 0 (Eq. 4 sums two negative terms), whatever the action
+// sequence.
+func TestEnvEpisodeRewardsNonPositive(t *testing.T) {
+	ticks := [][]errlog.Tick{{
+		mkTick(1, 0, errlog.CE),
+		mkTick(1, 2*time.Hour, errlog.CE),
+		mkTick(1, 30*time.Hour, errlog.UE),
+		mkTick(1, 40*time.Hour, errlog.CE),
+		mkTick(1, 50*time.Hour, errlog.UE),
+	}}
+	f := func(actions []bool) bool {
+		e := NewMitigationEnv(DefaultConfig(), ticks, fixedSampler(7, 20))
+		e.Reset()
+		for _, a := range actions {
+			act := ActionNone
+			if a {
+				act = ActionMitigate
+			}
+			_, r, done := e.Step(act)
+			if r > 0 {
+				return false
+			}
+			if done {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

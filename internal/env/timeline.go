@@ -1,0 +1,94 @@
+// Package env implements the Markov decision process of §3.2: the per-node
+// mitigation-control environment that replays error-log ticks, runs a
+// node-weighted random job sequence (§3.3.3), computes the potential UE
+// cost of Eq. 3, applies the reward of Eq. 4, and exposes the whole thing
+// through the rl.Environment interface for training and through direct
+// replay helpers for evaluation.
+package env
+
+import (
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/mathx"
+)
+
+// UEDowntime is how long a node is out of production after a UE (it was
+// removed and tested for one week, §2.1.3).
+const UEDowntime = 7 * 24 * time.Hour
+
+// Timeline models the jobs running on one node over time and the potential
+// UE cost baseline. Jobs run back-to-back; a UE kills the running job and
+// takes the node out of production for UEDowntime.
+type Timeline struct {
+	sampler     *jobs.Sampler
+	rng         *mathx.RNG
+	restartable bool
+
+	job      jobs.Job
+	jobStart time.Time
+	// baseline is the time from which lost wallclock accrues: the later of
+	// job start and (for restartable mitigation) the last mitigation.
+	baseline time.Time
+}
+
+// NewTimeline starts a job sequence at start. restartable selects whether a
+// mitigation establishes a restart point (checkpointing) or not (Eq. 3's
+// two cases).
+func NewTimeline(sampler *jobs.Sampler, rng *mathx.RNG, restartable bool, start time.Time) *Timeline {
+	tl := &Timeline{sampler: sampler, rng: rng, restartable: restartable}
+	tl.startJob(start)
+	return tl
+}
+
+func (tl *Timeline) startJob(at time.Time) {
+	tl.job = tl.sampler.Sample(tl.rng)
+	tl.jobStart = at
+	tl.baseline = at
+}
+
+// AdvanceTo rolls the job sequence forward so the current job covers t.
+func (tl *Timeline) AdvanceTo(t time.Time) {
+	for {
+		end := tl.jobStart.Add(tl.job.Duration)
+		if t.Before(end) {
+			return
+		}
+		tl.startJob(end)
+	}
+}
+
+// CostAt returns the potential UE cost (Eq. 3) at time t: the running
+// job's node count times the wallclock lost if a UE struck at t. The
+// timeline must already be advanced to t.
+func (tl *Timeline) CostAt(t time.Time) float64 {
+	lost := t.Sub(tl.baseline)
+	if lost < 0 {
+		lost = 0
+	}
+	return float64(tl.job.Nodes) * lost.Hours()
+}
+
+// Mitigate records a mitigation at time t. For restartable mitigation the
+// cost baseline resets to t (§3.2.3: "the potential UE cost is first set to
+// zero"); otherwise the baseline stays at job start.
+func (tl *Timeline) Mitigate(t time.Time) {
+	if tl.restartable {
+		tl.baseline = t
+	}
+}
+
+// OnUE handles an uncorrected error at time t: it returns the realized UE
+// cost (the full time since the last mitigation point, §3.2.5), kills the
+// job, and schedules the next job after the node's test downtime.
+func (tl *Timeline) OnUE(t time.Time) float64 {
+	cost := tl.CostAt(t)
+	tl.startJob(t.Add(UEDowntime))
+	return cost
+}
+
+// Job returns the currently scheduled job.
+func (tl *Timeline) Job() jobs.Job { return tl.job }
+
+// JobStart returns when the current job started.
+func (tl *Timeline) JobStart() time.Time { return tl.jobStart }

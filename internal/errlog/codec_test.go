@@ -1,0 +1,73 @@
+package errlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	l := &Log{Events: []Event{
+		{Time: t0, Node: 5, DIMM: 41, Manufacturer: ManufacturerB, Type: CE,
+			Count: 17, Rank: 1, Bank: 3, Row: 4096, Col: 17, Scrub: true},
+		{Time: t0.Add(time.Hour), Node: 5, DIMM: 40, Manufacturer: ManufacturerB,
+			Type: UE, Count: 1, Rank: -1, Bank: -1, Row: -1, Col: -1, OverTemp: true},
+		{Time: t0.Add(2 * time.Hour), Node: 6, DIMM: -1, Manufacturer: ManufacturerC,
+			Type: Boot, Count: 1, Rank: -1, Bank: -1, Row: -1, Col: -1},
+		{Time: t0.Add(3 * time.Hour), Node: 7, DIMM: 56, Manufacturer: ManufacturerA,
+			Type: UEWarning, Count: 1, Rank: -1, Bank: -1, Row: -1, Col: -1},
+		{Time: t0.Add(4 * time.Hour), Node: 8, DIMM: 64, Manufacturer: ManufacturerA,
+			Type: Retirement, Count: 1, Rank: -1, Bank: -1, Row: -1, Col: -1},
+	}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(l.Events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(got.Events), len(l.Events))
+	}
+	for i, e := range got.Events {
+		want := l.Events[i]
+		if !e.Time.Equal(want.Time) || e != want {
+			// time.Time contains a monotonic clock only for time.Now; our
+			// constructed times compare exactly.
+			t.Fatalf("event %d mismatch:\n got %+v\nwant %+v", i, e, want)
+		}
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"",
+		"not,a,valid,header\n",
+		"time,node,dimm,manufacturer,type,count,rank,bank,row,col,scrub,overtemp\nbadtime,1,1,A,CE,1,0,0,0,0,false,false\n",
+		"time,node,dimm,manufacturer,type,count,rank,bank,row,col,scrub,overtemp\n2014-10-01T00:00:00Z,1,1,X,CE,1,0,0,0,0,false,false\n",
+		"time,node,dimm,manufacturer,type,count,rank,bank,row,col,scrub,overtemp\n2014-10-01T00:00:00Z,1,1,A,WHAT,1,0,0,0,0,false,false\n",
+		"time,node,dimm,manufacturer,type,count,rank,bank,row,col,scrub,overtemp\n2014-10-01T00:00:00Z,x,1,A,CE,1,0,0,0,0,false,false\n",
+		"time,node,dimm,manufacturer,type,count,rank,bank,row,col,scrub,overtemp\n2014-10-01T00:00:00Z,1,1,A,CE,1,0,0,0,0,maybe,false\n",
+	}
+	for i, s := range cases {
+		if _, err := ReadCSV(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadCSVEmptyLog(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, &Log{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 0 {
+		t.Fatal("expected empty log")
+	}
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/telemetry"
+)
+
+// CalibrationResult checks the synthetic log against the paper's §2.1
+// aggregate statistics (scaled by the telemetry scale factor).
+type CalibrationResult struct {
+	Scale float64
+	Stats telemetry.Stats
+}
+
+// RunCalibration summarizes the world's error log.
+func RunCalibration(w *World) CalibrationResult {
+	return CalibrationResult{Scale: w.Scale.TelemetryScale, Stats: telemetry.Summarize(w.Log)}
+}
+
+// Render writes paper-target vs measured counts.
+func (r CalibrationResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Log calibration (paper §2.1 targets scaled by population factor)")
+	s := r.Stats
+	f := r.Scale
+	rows := [][]string{
+		{"nodes", fmt.Sprintf("%.0f", 3056*f), fmt.Sprintf("%d", s.Nodes)},
+		{"total corrected errors", fmt.Sprintf("%.0f", 4_500_000*f), fmt.Sprintf("%d", s.TotalCEs)},
+		{"raw uncorrected errors", fmt.Sprintf("%.0f", 333*f), fmt.Sprintf("%d", s.UEs)},
+		{"first-in-burst UEs", fmt.Sprintf("%.0f", 67*f), fmt.Sprintf("%d", s.FirstUEs)},
+		{"DIMM retirements", fmt.Sprintf("%.0f", 51*f), fmt.Sprintf("%d", s.Retirements)},
+		{"post-merge events", fmt.Sprintf("%.0f", 259_270*f), fmt.Sprintf("%d", s.PostMergeTicks)},
+		{"UE warnings", "-", fmt.Sprintf("%d", s.UEWarnings)},
+		{"boots", "-", fmt.Sprintf("%d", s.Boots)},
+	}
+	writeTable(w, []string{"quantity", "paper (scaled)", "measured"}, rows)
+	fmt.Fprintf(w, "per-manufacturer first UEs: A=%d B=%d C=%d\n",
+		s.PerManufacturerUEs[0], s.PerManufacturerUEs[1], s.PerManufacturerUEs[2])
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/evalx"
+)
+
+var (
+	worldOnce sync.Once
+	world     *World
+)
+
+// testWorld builds one CI-scale world shared across the experiment tests.
+func testWorld(t *testing.T) *World {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment integration tests in short mode")
+	}
+	worldOnce.Do(func() { world = BuildWorld(ScaleFor(evalx.PresetCI)) })
+	return world
+}
+
+func TestScaleFor(t *testing.T) {
+	ci := ScaleFor(evalx.PresetCI)
+	def := ScaleFor(evalx.PresetDefault)
+	paper := ScaleFor(evalx.PresetPaper)
+	if !(ci.TelemetryScale < def.TelemetryScale && def.TelemetryScale < paper.TelemetryScale) {
+		t.Fatal("scales not ordered")
+	}
+	if paper.TelemetryScale != 1 || paper.Parts != 6 {
+		t.Fatal("paper scale must match the paper protocol")
+	}
+}
+
+func TestBuildWorld(t *testing.T) {
+	w := testWorld(t)
+	if len(w.Log.Events) == 0 || len(w.Trace) == 0 {
+		t.Fatal("empty world")
+	}
+}
+
+func TestRunCalibration(t *testing.T) {
+	w := testWorld(t)
+	r := RunCalibration(w)
+	if r.Stats.FirstUEs == 0 || r.Stats.TotalCEs == 0 {
+		t.Fatalf("calibration stats empty: %+v", r.Stats)
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "first-in-burst UEs") {
+		t.Fatal("render missing rows")
+	}
+}
+
+func TestRunFig3Shape(t *testing.T) {
+	w := testWorld(t)
+	r := RunFig3(w)
+	if len(r.Runs) != 3 {
+		t.Fatalf("runs = %d", len(r.Runs))
+	}
+	// Never-mitigate's cost is independent of the mitigation cost.
+	n2, _ := r.Runs[0].Find("Never-mitigate")
+	n10, _ := r.Runs[2].Find("Never-mitigate")
+	if n2.TotalCost() != n10.TotalCost() {
+		t.Fatalf("Never-mitigate cost varies with mitigation cost: %v vs %v",
+			n2.TotalCost(), n10.TotalCost())
+	}
+	// Always-mitigate's mitigation cost scales linearly with the per-action
+	// cost (2 -> 10 node-minutes is exactly 5x).
+	a2, _ := r.Runs[0].Find("Always-mitigate")
+	a10, _ := r.Runs[2].Find("Always-mitigate")
+	if a2.Metrics.Mitigations != a10.Metrics.Mitigations {
+		t.Fatal("Always mitigation count should not depend on the cost")
+	}
+	ratio := a10.MitigationCost / a2.MitigationCost
+	if ratio < 4.99 || ratio > 5.01 {
+		t.Fatalf("mitigation cost ratio = %v, want 5", ratio)
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "Oracle") {
+		t.Fatal("render missing Oracle row")
+	}
+}
+
+func TestRunFig4Shape(t *testing.T) {
+	w := testWorld(t)
+	r := RunFig4(w)
+	if len(r.CV.Splits) != w.Scale.Parts {
+		t.Fatalf("splits = %d", len(r.CV.Splits))
+	}
+	// Per-split totals must sum to the aggregate.
+	for i, total := range r.CV.Totals {
+		sum := 0.0
+		for _, s := range r.CV.Splits {
+			sum += s.Results[i].TotalCost()
+		}
+		if diff := sum - total.TotalCost(); diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("%s: split sum %v != total %v", total.Policy, sum, total.TotalCost())
+		}
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "sum") {
+		t.Fatal("render missing sum column")
+	}
+}
+
+func TestRunFig6Shape(t *testing.T) {
+	w := testWorld(t)
+	r := RunFig6(w)
+	if len(r.CostDecades) != fig6Decades {
+		t.Fatalf("decades = %d", len(r.CostDecades))
+	}
+	// The paper's core behavioural claim: the agent mitigates more often
+	// as the potential UE cost grows. Compare the cheap decades with the
+	// expensive ones.
+	low := (r.MitigationFraction(0) + r.MitigationFraction(1)) / 2
+	high := (r.MitigationFraction(4) + r.MitigationFraction(5)) / 2
+	if high < low {
+		t.Errorf("mitigation fraction does not grow with cost: low %.3f high %.3f", low, high)
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "RF prob") {
+		t.Fatal("render missing axis labels")
+	}
+}
+
+func TestRunTable2Shape(t *testing.T) {
+	w := testWorld(t)
+	r := RunTable2(w)
+	if len(r.RangeResults) != 3 {
+		t.Fatalf("range rows = %d", len(r.RangeResults))
+	}
+	never, ok := r.Base.Find("Never-mitigate")
+	if !ok || never.Metrics.Mitigations != 0 {
+		t.Fatal("Never row wrong")
+	}
+	always, _ := r.Base.Find("Always-mitigate")
+	oracle, _ := r.Base.Find("Oracle")
+	// Oracle recall equals Always recall (both catch every catchable UE)
+	// and Oracle precision is 1.
+	if oracle.Metrics.Recall() < always.Metrics.Recall()-1e-9 {
+		t.Errorf("oracle recall %.2f below always %.2f",
+			oracle.Metrics.Recall(), always.Metrics.Recall())
+	}
+	if oracle.Metrics.FPs != 0 {
+		t.Errorf("oracle FPs = %d", oracle.Metrics.FPs)
+	}
+	// Adaptivity: in the paper the RL mitigation *rate* grows strongly
+	// with the UE-cost range (Table 2's last three rows: 19% -> 93%).
+	// The CI training budget is too small for a sharp decision boundary,
+	// so this smoke test only asserts the rate does not collapse at high
+	// cost; the monotone trend itself is asserted by TestRunFig6Shape and
+	// reproduced at the default preset (see EXPERIMENTS.md).
+	rate := func(res evalx.Result) float64 {
+		m := res.Metrics
+		if m.Mitigations+m.NonMitigations == 0 {
+			return 0
+		}
+		return float64(m.Mitigations) / float64(m.Mitigations+m.NonMitigations)
+	}
+	lowRate := rate(r.RangeResults[0])
+	highRate := rate(r.RangeResults[2])
+	if highRate < lowRate*0.7 {
+		t.Errorf("RL mitigation rate collapsed at high cost range: %.3f -> %.3f", lowRate, highRate)
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "recall") || !strings.Contains(out, "RL, UE cost < 100 nh") {
+		t.Fatal("render missing rows")
+	}
+}
+
+func TestRunFig7Shape(t *testing.T) {
+	w := testWorld(t)
+	r := RunFig7(w, []float64{0.1, 1, 10})
+	if len(r.Runs) != 3 {
+		t.Fatalf("runs = %d", len(r.Runs))
+	}
+	// Never-mitigate's total cost is pure UE cost, proportional to job
+	// size: the 10x sweep must cost far more than the 0.1x sweep.
+	n01, _ := r.Runs[0].Find("Never-mitigate")
+	n10, _ := r.Runs[2].Find("Never-mitigate")
+	if n10.TotalCost() < n01.TotalCost()*10 {
+		t.Errorf("Never cost not scaling with job size: %v vs %v",
+			n01.TotalCost(), n10.TotalCost())
+	}
+	// Always-mitigate's mitigation cost is independent of job size.
+	a01, _ := r.Runs[0].Find("Always-mitigate")
+	a10, _ := r.Runs[2].Find("Always-mitigate")
+	if a01.MitigationCost != a10.MitigationCost {
+		t.Errorf("Always mitigation cost varies with job size: %v vs %v",
+			a01.MitigationCost, a10.MitigationCost)
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "Figure 7b") {
+		t.Fatal("render missing 7b")
+	}
+}
+
+func TestRunAblationShape(t *testing.T) {
+	w := testWorld(t)
+	r := RunAblation(w)
+	if len(r.Results) != 4 {
+		t.Fatalf("variants = %d", len(r.Results))
+	}
+	names := strings.Join(r.Variants, ",")
+	for _, want := range []string{"PER", "uniform", "vanilla", "cost"} {
+		if !strings.Contains(names, want) {
+			t.Fatalf("missing variant %q in %q", want, names)
+		}
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	if !strings.Contains(sb.String(), "variant") {
+		t.Fatal("render missing header")
+	}
+}

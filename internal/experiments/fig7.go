@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/evalx"
+	"repro/internal/jobs"
+)
+
+// Fig7Result reproduces Figure 7: the job-size sensitivity analysis. For
+// each scaling factor a separate model is trained (the normal use case of
+// training for the particular production system) and every approach's
+// total cost (7a) and mitigation cost (7b) is reported at a 2 node–minute
+// mitigation cost.
+type Fig7Result struct {
+	Factors []float64
+	Runs    []evalx.CVResult
+}
+
+// DefaultFig7Factors are the paper's scaling factors.
+var DefaultFig7Factors = []float64{0.1, 0.3, 1, 3, 10}
+
+// RunFig7 regenerates Figure 7 over the given factors (nil selects the
+// paper's sweep).
+func RunFig7(w *World, factors []float64) Fig7Result {
+	if factors == nil {
+		factors = DefaultFig7Factors
+	}
+	res := Fig7Result{Factors: factors}
+	for _, f := range factors {
+		jcfg := w.JCfg.WithScale(f)
+		trace := jobs.Generate(jcfg)
+		cv := evalx.RunCV(w.Log, trace, w.cvConfig(2))
+		res.Runs = append(res.Runs, cv)
+	}
+	return res
+}
+
+// Render writes 7a (total cost) and 7b (mitigation cost) tables.
+func (r Fig7Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 7a: total cost (node-hours) vs job size scaling factor, 2 node-minute mitigation")
+	r.renderOne(w, func(res evalx.Result) float64 { return res.TotalCost() })
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Figure 7b: mitigation cost (node-hours) vs job size scaling factor")
+	r.renderOne(w, func(res evalx.Result) float64 { return res.MitigationCost })
+}
+
+func (r Fig7Result) renderOne(w io.Writer, get func(evalx.Result) float64) {
+	if len(r.Runs) == 0 || len(r.Runs[0].Totals) == 0 {
+		return
+	}
+	header := []string{"approach"}
+	for _, f := range r.Factors {
+		header = append(header, fmt.Sprintf("x%g", f))
+	}
+	var rows [][]string
+	for i, total := range r.Runs[0].Totals {
+		row := []string{total.Policy}
+		for _, cv := range r.Runs {
+			row = append(row, nh(get(cv.Totals[i])))
+		}
+		rows = append(rows, row)
+	}
+	writeTable(w, header, rows)
+}

@@ -1,0 +1,257 @@
+// Package features computes the per-node state features of Table 1 of the
+// paper: corrected-error counts and their spatial spread (distinct ranks,
+// banks, rows, columns and DIMMs with CEs), UE warnings, node boot state,
+// the feature-variation-over-time ratios of Eq. 2 (at Δt of one minute and
+// one hour), and the potential UE cost of Eq. 3 supplied by the workload
+// model. It also provides the normalization applied before features enter
+// the neural network.
+package features
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/errlog"
+)
+
+// Feature vector indices. The layout is fixed and shared by the RL agent
+// and the random-forest baseline (which uses the prefix without the cost
+// feature, as SC20-RF has no notion of job state).
+const (
+	// CEsSinceLastEvent is the number of corrected errors observed in the
+	// current tick (i.e. since the previous event).
+	CEsSinceLastEvent = iota
+	// CEsTotal is the cumulative corrected errors since start of operation.
+	CEsTotal
+	// RanksWithCEs counts distinct ranks that have seen CEs.
+	RanksWithCEs
+	// BanksWithCEs counts distinct banks that have seen CEs.
+	BanksWithCEs
+	// RowsWithCEs counts distinct rows that have seen CEs.
+	RowsWithCEs
+	// ColsWithCEs counts distinct columns that have seen CEs.
+	ColsWithCEs
+	// DIMMsWithCEs counts distinct DIMMs that have seen CEs.
+	DIMMsWithCEs
+	// UEWarnings is the cumulative UE warning count.
+	UEWarnings
+	// HoursSinceBoot is the time since the last node boot, in hours.
+	HoursSinceBoot
+	// Boots is the cumulative node boot count.
+	Boots
+	// CEVar1Min is the Eq. 2 variation of CEsTotal over one minute.
+	CEVar1Min
+	// CEVar1Hour is the Eq. 2 variation of CEsTotal over one hour.
+	CEVar1Hour
+	// BootVar1Min is the Eq. 2 variation of Boots over one minute.
+	BootVar1Min
+	// BootVar1Hour is the Eq. 2 variation of Boots over one hour.
+	BootVar1Hour
+	// UECost is the potential UE cost (Eq. 3) in node–hours.
+	UECost
+	// Dim is the full feature dimension.
+	Dim
+)
+
+// PredictorDim is the dimension used by the random-forest predictor: every
+// feature except the workload-dependent potential UE cost.
+const PredictorDim = UECost
+
+// Vector is one feature observation.
+type Vector [Dim]float64
+
+// Predictor returns the prefix used by the RF predictor (no UE cost).
+func (v Vector) Predictor() []float64 { return v[:PredictorDim] }
+
+// maxCostFeature caps the normalized potential-UE-cost input at
+// log1p(64,000) node–hours, twice the largest job in the MN4-style trace.
+// Costs beyond the training distribution saturate instead of pushing the
+// network into an extrapolation region it has never seen, which keeps the
+// learned mitigate-at-high-cost behaviour monotone (the §5.4 observation
+// that the agent generalizes to costs orders of magnitude above training
+// relies on this saturation at laptop-scale training budgets).
+var maxCostFeature = math.Log1p(64000)
+
+// Normalized returns the network input representation: counts and cost are
+// log1p-compressed (they span orders of magnitude), hours-since-boot is
+// log1p-compressed, the variation ratios are clamped to [0, 8], and the
+// cost feature saturates at maxCostFeature. The result has the same
+// dimension and index layout as Vector.
+func (v Vector) Normalized() []float64 {
+	out := make([]float64, Dim)
+	for i := 0; i < Dim; i++ {
+		switch i {
+		case CEVar1Min, CEVar1Hour, BootVar1Min, BootVar1Hour:
+			x := v[i]
+			if x < 0 {
+				x = 0
+			}
+			if x > 8 {
+				x = 8
+			}
+			out[i] = x
+		case UECost:
+			c := math.Log1p(v[i])
+			if c > maxCostFeature {
+				c = maxCostFeature
+			}
+			out[i] = c
+		default:
+			out[i] = math.Log1p(v[i])
+		}
+	}
+	return out
+}
+
+// snapshot is a historical (time, CEsTotal, Boots) record used to compute
+// the Eq. 2 variation ratios.
+type snapshot struct {
+	t     time.Time
+	ces   float64
+	boots float64
+}
+
+// Tracker maintains one node's feature state as ticks stream in. The zero
+// value is not usable; construct with NewTracker.
+type Tracker struct {
+	started bool
+	start   time.Time
+
+	cesTotal   float64
+	warnings   float64
+	boots      float64
+	lastBoot   time.Time
+	hasBoot    bool
+	ranks      map[int]struct{}
+	banks      map[int]struct{}
+	rows       map[int]struct{}
+	cols       map[int]struct{}
+	dimms      map[int]struct{}
+	history    []snapshot
+	lastVector Vector
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		ranks: map[int]struct{}{},
+		banks: map[int]struct{}{},
+		rows:  map[int]struct{}{},
+		cols:  map[int]struct{}{},
+		dimms: map[int]struct{}{},
+	}
+}
+
+// Reset returns the tracker to its initial state for reuse.
+func (tr *Tracker) Reset() {
+	*tr = *NewTracker()
+}
+
+// Observe ingests a tick's events and returns the feature vector at the
+// tick time with the supplied potential UE cost. Ticks must be fed in
+// chronological order.
+func (tr *Tracker) Observe(tick errlog.Tick, ueCost float64) Vector {
+	if !tr.started {
+		tr.started = true
+		tr.start = tick.Time
+	}
+	ceNow := 0.0
+	for _, e := range tick.Events {
+		switch e.Type {
+		case errlog.CE:
+			ceNow += float64(e.Count)
+			tr.cesTotal += float64(e.Count)
+			if e.Rank >= 0 {
+				tr.ranks[e.Rank] = struct{}{}
+			}
+			if e.Bank >= 0 {
+				tr.banks[e.Bank] = struct{}{}
+			}
+			if e.Row >= 0 {
+				tr.rows[e.Row] = struct{}{}
+			}
+			if e.Col >= 0 {
+				tr.cols[e.Col] = struct{}{}
+			}
+			if e.DIMM >= 0 {
+				tr.dimms[e.DIMM] = struct{}{}
+			}
+		case errlog.UEWarning:
+			tr.warnings++
+		case errlog.Boot:
+			tr.boots++
+			tr.lastBoot = e.Time
+			tr.hasBoot = true
+		}
+	}
+	// Record the post-update snapshot, then compute variations against the
+	// closest snapshots at or before t-Δt.
+	tr.history = append(tr.history, snapshot{t: tick.Time, ces: tr.cesTotal, boots: tr.boots})
+
+	var v Vector
+	v[CEsSinceLastEvent] = ceNow
+	v[CEsTotal] = tr.cesTotal
+	v[RanksWithCEs] = float64(len(tr.ranks))
+	v[BanksWithCEs] = float64(len(tr.banks))
+	v[RowsWithCEs] = float64(len(tr.rows))
+	v[ColsWithCEs] = float64(len(tr.cols))
+	v[DIMMsWithCEs] = float64(len(tr.dimms))
+	v[UEWarnings] = tr.warnings
+	if tr.hasBoot {
+		v[HoursSinceBoot] = tick.Time.Sub(tr.lastBoot).Hours()
+	} else {
+		v[HoursSinceBoot] = tick.Time.Sub(tr.start).Hours()
+	}
+	v[Boots] = tr.boots
+	v[CEVar1Min] = tr.variation(tick.Time, time.Minute, func(s snapshot) float64 { return s.ces }, tr.cesTotal)
+	v[CEVar1Hour] = tr.variation(tick.Time, time.Hour, func(s snapshot) float64 { return s.ces }, tr.cesTotal)
+	v[BootVar1Min] = tr.variation(tick.Time, time.Minute, func(s snapshot) float64 { return s.boots }, tr.boots)
+	v[BootVar1Hour] = tr.variation(tick.Time, time.Hour, func(s snapshot) float64 { return s.boots }, tr.boots)
+	v[UECost] = ueCost
+	tr.lastVector = v
+	return v
+}
+
+// variation implements Eq. 2: value(now) / value(now-Δt), zero when the
+// denominator is zero. value(now-Δt) is the feature's value at the latest
+// snapshot at or before now-Δt (features only change at events).
+func (tr *Tracker) variation(now time.Time, dt time.Duration, get func(snapshot) float64, nowVal float64) float64 {
+	cutoff := now.Add(-dt)
+	// Binary search over history for the last snapshot with t <= cutoff.
+	lo, hi := 0, len(tr.history)-1
+	idx := -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if !tr.history[mid].t.After(cutoff) {
+			idx = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	if idx < 0 {
+		return 0 // no history that far back: denominator is zero
+	}
+	denom := get(tr.history[idx])
+	if denom == 0 {
+		return 0
+	}
+	return nowVal / denom
+}
+
+// Last returns the most recently computed vector.
+func (tr *Tracker) Last() Vector { return tr.lastVector }
+
+// CompactHistory drops snapshots older than the longest variation window,
+// bounding memory for long logs. Call occasionally (e.g. per day of log
+// time).
+func (tr *Tracker) CompactHistory(now time.Time) {
+	cutoff := now.Add(-2 * time.Hour)
+	keep := 0
+	for keep < len(tr.history)-1 && tr.history[keep+1].t.Before(cutoff) {
+		keep++
+	}
+	if keep > 0 {
+		tr.history = append(tr.history[:0], tr.history[keep:]...)
+	}
+}

@@ -1,0 +1,181 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/errlog"
+)
+
+var t0 = time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func tick(at time.Duration, events ...errlog.Event) errlog.Tick {
+	for i := range events {
+		events[i].Time = t0.Add(at)
+	}
+	return errlog.Tick{Time: t0.Add(at), Node: 1, Events: events}
+}
+
+func ceEvent(count, rank, bank, row, col, dimm int) errlog.Event {
+	return errlog.Event{Type: errlog.CE, Count: count, Rank: rank, Bank: bank,
+		Row: row, Col: col, DIMM: dimm}
+}
+
+func TestObserveCECounts(t *testing.T) {
+	tr := NewTracker()
+	v := tr.Observe(tick(0, ceEvent(5, 0, 1, 10, 20, 3)), 0)
+	if v[CEsSinceLastEvent] != 5 || v[CEsTotal] != 5 {
+		t.Fatalf("first tick: %v", v)
+	}
+	v = tr.Observe(tick(time.Hour, ceEvent(3, 0, 2, 11, 20, 3)), 0)
+	if v[CEsSinceLastEvent] != 3 {
+		t.Fatalf("CEs since last event = %v, want 3", v[CEsSinceLastEvent])
+	}
+	if v[CEsTotal] != 8 {
+		t.Fatalf("CEs total = %v, want 8", v[CEsTotal])
+	}
+}
+
+func TestObserveSpatialSpread(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(tick(0, ceEvent(1, 0, 1, 10, 20, 3)), 0)
+	v := tr.Observe(tick(time.Minute,
+		ceEvent(1, 0, 2, 11, 20, 3), // new bank, new row, same rank/col/DIMM
+		ceEvent(1, 1, 1, 10, 21, 4), // new rank, new col, new DIMM
+	), 0)
+	if v[RanksWithCEs] != 2 || v[BanksWithCEs] != 2 || v[RowsWithCEs] != 2 ||
+		v[ColsWithCEs] != 2 || v[DIMMsWithCEs] != 2 {
+		t.Fatalf("spread wrong: %v", v)
+	}
+}
+
+func TestObserveWarningsAndBoots(t *testing.T) {
+	tr := NewTracker()
+	boot := errlog.Event{Type: errlog.Boot}
+	warn := errlog.Event{Type: errlog.UEWarning}
+	tr.Observe(tick(0, boot), 0)
+	v := tr.Observe(tick(2*time.Hour, warn), 0)
+	if v[UEWarnings] != 1 || v[Boots] != 1 {
+		t.Fatalf("warn/boot counts: %v", v)
+	}
+	if math.Abs(v[HoursSinceBoot]-2) > 1e-9 {
+		t.Fatalf("hours since boot = %v, want 2", v[HoursSinceBoot])
+	}
+}
+
+func TestVariationEq2(t *testing.T) {
+	tr := NewTracker()
+	// 10 CEs at t=0, 30 more at t=1h. At the second tick, CEsTotal=40 and
+	// the value one hour earlier was 10 -> variation over 1h = 4.
+	tr.Observe(tick(0, ceEvent(10, 0, 0, 0, 0, 0)), 0)
+	v := tr.Observe(tick(time.Hour, ceEvent(30, 0, 0, 0, 0, 0)), 0)
+	if math.Abs(v[CEVar1Hour]-4) > 1e-9 {
+		t.Fatalf("CE 1h variation = %v, want 4", v[CEVar1Hour])
+	}
+	// No snapshot one minute back at exactly t=1h except t=0? t-1min =
+	// 59min; latest snapshot at or before is t=0 with 10 CEs -> 4.
+	if math.Abs(v[CEVar1Min]-4) > 1e-9 {
+		t.Fatalf("CE 1min variation = %v, want 4", v[CEVar1Min])
+	}
+}
+
+func TestVariationZeroDenominator(t *testing.T) {
+	tr := NewTracker()
+	// First tick: no history before it -> variation 0 (paper: set to zero
+	// when the denominator is zero).
+	v := tr.Observe(tick(0, ceEvent(10, 0, 0, 0, 0, 0)), 0)
+	if v[CEVar1Min] != 0 || v[CEVar1Hour] != 0 {
+		t.Fatalf("first-tick variation should be 0: %v", v)
+	}
+	// Snapshot exists but its value is zero (only a boot, no CEs).
+	tr2 := NewTracker()
+	tr2.Observe(tick(0, errlog.Event{Type: errlog.Boot}), 0)
+	v = tr2.Observe(tick(2*time.Hour, ceEvent(5, 0, 0, 0, 0, 0)), 0)
+	if v[CEVar1Hour] != 0 {
+		t.Fatalf("zero-denominator variation should be 0, got %v", v[CEVar1Hour])
+	}
+}
+
+func TestUECostPassthrough(t *testing.T) {
+	tr := NewTracker()
+	v := tr.Observe(tick(0), 1234.5)
+	if v[UECost] != 1234.5 {
+		t.Fatalf("UE cost = %v", v[UECost])
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	var v Vector
+	v[CEsTotal] = math.E - 1 // log1p -> 1
+	v[CEVar1Hour] = 100      // clamps to 8
+	v[UECost] = 0
+	n := v.Normalized()
+	if math.Abs(n[CEsTotal]-1) > 1e-9 {
+		t.Fatalf("log1p normalization wrong: %v", n[CEsTotal])
+	}
+	if n[CEVar1Hour] != 8 {
+		t.Fatalf("variation clamp wrong: %v", n[CEVar1Hour])
+	}
+	if n[UECost] != 0 {
+		t.Fatalf("zero cost should normalize to 0: %v", n[UECost])
+	}
+	if len(n) != Dim {
+		t.Fatalf("normalized dim %d", len(n))
+	}
+}
+
+func TestPredictorExcludesCost(t *testing.T) {
+	var v Vector
+	v[UECost] = 99
+	p := v.Predictor()
+	if len(p) != PredictorDim {
+		t.Fatalf("predictor dim %d", len(p))
+	}
+	for _, x := range p {
+		if x == 99 {
+			t.Fatal("predictor features leak UE cost")
+		}
+	}
+}
+
+func TestResetAndLast(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(tick(0, ceEvent(5, 0, 0, 0, 0, 0)), 7)
+	if tr.Last()[CEsTotal] != 5 {
+		t.Fatal("Last() wrong")
+	}
+	tr.Reset()
+	v := tr.Observe(tick(time.Hour), 0)
+	if v[CEsTotal] != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestCompactHistoryPreservesVariation(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(tick(0, ceEvent(10, 0, 0, 0, 0, 0)), 0)
+	for i := 1; i <= 48; i++ {
+		tr.Observe(tick(time.Duration(i)*time.Hour, ceEvent(1, 0, 0, 0, 0, 0)), 0)
+	}
+	tr.CompactHistory(t0.Add(48 * time.Hour))
+	// Variation over 1 hour needs only the last 2 hours of history.
+	v := tr.Observe(tick(49*time.Hour, ceEvent(58, 0, 0, 0, 0, 0)), 0)
+	// CEsTotal = 10+48+58 = 116; value 1h before = 10+48 = 58 -> ratio 2.
+	if math.Abs(v[CEVar1Hour]-2) > 1e-9 {
+		t.Fatalf("variation after compaction = %v, want 2", v[CEVar1Hour])
+	}
+	if len(tr.history) > 10 {
+		t.Fatalf("history not compacted: %d entries", len(tr.history))
+	}
+}
+
+func TestHoursSinceBootBeforeFirstBoot(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(tick(0, ceEvent(1, 0, 0, 0, 0, 0)), 0)
+	v := tr.Observe(tick(3*time.Hour, ceEvent(1, 0, 0, 0, 0, 0)), 0)
+	// With no boot seen, fall back to time since start of observation.
+	if math.Abs(v[HoursSinceBoot]-3) > 1e-9 {
+		t.Fatalf("fallback hours since boot = %v, want 3", v[HoursSinceBoot])
+	}
+}

@@ -1,0 +1,248 @@
+// Package jobs synthesizes MareNostrum-4-style HPC job traces (§2.2): the
+// proprietary Slurm/sacct log is replaced by a heavy-tailed generator whose
+// node-count and duration distributions span the orders of magnitude the
+// paper reports (potential UE costs up to ≈32,000 node–hours), plus the
+// node-weighted job sampler used to assemble per-node episode job sequences
+// (§3.3.3) and the job-size scaling factor of the §5.6 sensitivity
+// analysis.
+package jobs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/mathx"
+)
+
+// Job is one scheduler record, in the spirit of `sacct` output.
+type Job struct {
+	// ID is a unique job identifier.
+	ID int
+	// Nodes is the number of allocated nodes.
+	Nodes int
+	// Duration is the wallclock run time.
+	Duration time.Duration
+}
+
+// NodeHours returns the job's total compute volume in node–hours.
+func (j Job) NodeHours() float64 {
+	return float64(j.Nodes) * j.Duration.Hours()
+}
+
+// Config parameterizes the trace generator.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Count is the number of jobs in the trace.
+	Count int
+	// MaxNodes caps allocations at the system size (MN4: 3456).
+	MaxNodes int
+	// NodesAlpha is the bounded-Pareto shape for node counts; smaller is
+	// heavier-tailed.
+	NodesAlpha float64
+	// DurationMedianHours and DurationSigma parameterize the log-normal
+	// wallclock distribution.
+	DurationMedianHours float64
+	DurationSigma       float64
+	// MaxDurationHours caps wallclock at the scheduler limit (MN: 72 h).
+	MaxDurationHours float64
+	// SizeScale multiplies node counts — the §5.6 job-size scaling factor.
+	// 1 reproduces the MN4 distribution.
+	SizeScale float64
+}
+
+// Default returns the MN4-calibrated configuration: mostly small jobs with
+// a heavy tail, maximum potential cost ≈ 32k node–hours (e.g. a 448-node
+// job at the 72 h limit).
+func Default() Config {
+	return Config{
+		Seed:                1,
+		Count:               20000,
+		MaxNodes:            3456,
+		NodesAlpha:          0.75,
+		DurationMedianHours: 3,
+		DurationSigma:       1.4,
+		MaxDurationHours:    72,
+		SizeScale:           1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Count <= 0 {
+		return fmt.Errorf("jobs: Count must be positive, got %d", c.Count)
+	}
+	if c.MaxNodes <= 0 {
+		return fmt.Errorf("jobs: MaxNodes must be positive, got %d", c.MaxNodes)
+	}
+	if c.SizeScale <= 0 {
+		return fmt.Errorf("jobs: SizeScale must be positive, got %v", c.SizeScale)
+	}
+	if c.MaxDurationHours <= 0 {
+		return fmt.Errorf("jobs: MaxDurationHours must be positive, got %v", c.MaxDurationHours)
+	}
+	return nil
+}
+
+// WithScale returns a copy with the job-size scaling factor set.
+func (c Config) WithScale(f float64) Config {
+	c.SizeScale = f
+	return c
+}
+
+// Generate synthesizes a job trace.
+func Generate(cfg Config) []Job {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	out := make([]Job, cfg.Count)
+	mu := math.Log(cfg.DurationMedianHours)
+	for i := range out {
+		nodes := cfg.SizeScale * rng.BoundedPareto(cfg.NodesAlpha, 1, float64(cfg.MaxNodes))
+		n := int(nodes + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		hours := rng.LogNormal(mu, cfg.DurationSigma)
+		if hours > cfg.MaxDurationHours {
+			hours = cfg.MaxDurationHours
+		}
+		if hours < 0.05 {
+			hours = 0.05
+		}
+		out[i] = Job{
+			ID:       i + 1,
+			Nodes:    n,
+			Duration: time.Duration(hours * float64(time.Hour)),
+		}
+	}
+	return out
+}
+
+// Sampler draws jobs weighted by their node count. The paper (§3.3.3)
+// weights the episode job sequence by the number of nodes each job runs on,
+// so that the job mix seen *per node* matches the production distribution:
+// a 100-node job occupies 100 node-slots and is therefore 100× more likely
+// to be the job running on a randomly chosen node than a 1-node job of the
+// same duration.
+type Sampler struct {
+	jobs   []Job
+	cum    []float64 // cumulative node-count weights
+	total  float64
+	maxJob float64 // largest node-hours in the trace
+}
+
+// NewSampler builds a node-weighted sampler over trace. It panics on an
+// empty trace.
+func NewSampler(trace []Job) *Sampler {
+	if len(trace) == 0 {
+		panic("jobs: empty trace")
+	}
+	s := &Sampler{jobs: trace, cum: make([]float64, len(trace))}
+	run := 0.0
+	for i, j := range trace {
+		run += float64(j.Nodes)
+		s.cum[i] = run
+		if nh := j.NodeHours(); nh > s.maxJob {
+			s.maxJob = nh
+		}
+	}
+	s.total = run
+	return s
+}
+
+// Sample draws one job, weighted by node count.
+func (s *Sampler) Sample(rng *mathx.RNG) Job {
+	x := rng.Float64() * s.total
+	idx := sort.SearchFloat64s(s.cum, x)
+	if idx >= len(s.jobs) {
+		idx = len(s.jobs) - 1
+	}
+	return s.jobs[idx]
+}
+
+// MaxNodeHours reports the largest job volume in the trace, the cap on any
+// single potential UE cost.
+func (s *Sampler) MaxNodeHours() float64 { return s.maxJob }
+
+// Jobs exposes the underlying trace.
+func (s *Sampler) Jobs() []Job { return s.jobs }
+
+// YoungDalyInterval returns the near-optimal periodic checkpoint interval
+// for a job with the given mean time between failures and checkpoint
+// write cost, using Young's first-order formula sqrt(2·C·MTBF) with Daly's
+// higher-order correction for large C. It contextualizes the §5.6
+// discussion: periodic checkpointing pays this cost continuously, whereas
+// the paper's agent checkpoints only when failure risk or potential loss
+// is high.
+func YoungDalyInterval(mtbf, checkpointCost time.Duration) time.Duration {
+	if mtbf <= 0 || checkpointCost <= 0 {
+		return 0
+	}
+	c := checkpointCost.Seconds()
+	m := mtbf.Seconds()
+	if c >= 2*m {
+		// Degenerate: checkpointing costs more than the expected loss.
+		return mtbf
+	}
+	// Daly: t = sqrt(2*C*M) * (1 + sqrt(C/(2M))/3 + C/(9*2M)) - C.
+	x := math.Sqrt(2 * c * m)
+	t := x*(1+math.Sqrt(c/(2*m))/3+(c/(18*m))) - c
+	if t <= 0 {
+		t = x
+	}
+	return time.Duration(t * float64(time.Second))
+}
+
+// ExpectedPeriodicOverhead returns the expected fraction of compute lost by
+// periodic checkpointing with interval t under failures with the given
+// MTBF: the checkpoint write overhead plus the expected half-interval of
+// recomputation per failure.
+func ExpectedPeriodicOverhead(t, checkpointCost, mtbf time.Duration) float64 {
+	if t <= 0 || mtbf <= 0 {
+		return 0
+	}
+	writeFrac := checkpointCost.Seconds() / t.Seconds()
+	reworkFrac := (t.Seconds() / 2) / mtbf.Seconds()
+	return writeFrac + reworkFrac
+}
+
+// TraceStats summarizes a trace for calibration and tooling.
+type TraceStats struct {
+	Count          int
+	MeanNodes      float64
+	P99Nodes       float64
+	MaxNodes       int
+	MeanHours      float64
+	MaxNodeHours   float64
+	TotalNodeHours float64
+}
+
+// Stats computes TraceStats.
+func Stats(trace []Job) TraceStats {
+	st := TraceStats{Count: len(trace)}
+	if len(trace) == 0 {
+		return st
+	}
+	nodes := make([]float64, len(trace))
+	for i, j := range trace {
+		nodes[i] = float64(j.Nodes)
+		st.MeanNodes += float64(j.Nodes)
+		st.MeanHours += j.Duration.Hours()
+		nh := j.NodeHours()
+		st.TotalNodeHours += nh
+		if nh > st.MaxNodeHours {
+			st.MaxNodeHours = nh
+		}
+		if j.Nodes > st.MaxNodes {
+			st.MaxNodes = j.Nodes
+		}
+	}
+	st.MeanNodes /= float64(len(trace))
+	st.MeanHours /= float64(len(trace))
+	st.P99Nodes = mathx.Quantile(nodes, 0.99)
+	return st
+}

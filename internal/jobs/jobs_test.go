@@ -1,0 +1,184 @@
+package jobs
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/mathx"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Default()
+	cfg.Count = 500
+	a := Generate(cfg)
+	b := Generate(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs", i)
+		}
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	cfg := Default()
+	cfg.Count = 5000
+	for _, j := range Generate(cfg) {
+		if j.Nodes < 1 || j.Nodes > cfg.MaxNodes+1 {
+			t.Fatalf("nodes out of bounds: %d", j.Nodes)
+		}
+		if j.Duration <= 0 || j.Duration > time.Duration(cfg.MaxDurationHours*float64(time.Hour))+time.Second {
+			t.Fatalf("duration out of bounds: %v", j.Duration)
+		}
+	}
+}
+
+func TestGenerateHeavyTail(t *testing.T) {
+	cfg := Default()
+	cfg.Count = 20000
+	st := Stats(Generate(cfg))
+	// Most jobs are small but the tail must reach hundreds of nodes.
+	if st.P99Nodes < 50 {
+		t.Fatalf("p99 nodes %.0f: tail too light", st.P99Nodes)
+	}
+	if st.MeanNodes > st.P99Nodes/3 {
+		t.Fatalf("mean %.1f vs p99 %.0f: not heavy tailed", st.MeanNodes, st.P99Nodes)
+	}
+	// Paper: maximum potential UE cost ≈ 32,000 node–hours.
+	if st.MaxNodeHours < 8000 || st.MaxNodeHours > 250000 {
+		t.Fatalf("max node-hours %.0f outside calibration band", st.MaxNodeHours)
+	}
+}
+
+func TestSizeScale(t *testing.T) {
+	cfg := Default()
+	cfg.Count = 10000
+	base := Stats(Generate(cfg))
+	scaled := Stats(Generate(cfg.WithScale(3)))
+	ratio := scaled.MeanNodes / base.MeanNodes
+	if ratio < 2 || ratio > 4 {
+		t.Fatalf("scale 3 changed mean nodes by %.2f, want about 3", ratio)
+	}
+	down := Stats(Generate(cfg.WithScale(0.1)))
+	if down.MeanNodes >= base.MeanNodes {
+		t.Fatal("scale 0.1 did not shrink jobs")
+	}
+}
+
+func TestNodeHours(t *testing.T) {
+	j := Job{Nodes: 10, Duration: 90 * time.Minute}
+	if got := j.NodeHours(); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("NodeHours = %v, want 15", got)
+	}
+}
+
+func TestSamplerWeighting(t *testing.T) {
+	trace := []Job{
+		{ID: 1, Nodes: 1, Duration: time.Hour},
+		{ID: 2, Nodes: 99, Duration: time.Hour},
+	}
+	s := NewSampler(trace)
+	rng := mathx.NewRNG(1)
+	big := 0
+	for i := 0; i < 10000; i++ {
+		if s.Sample(rng).ID == 2 {
+			big++
+		}
+	}
+	// Expect ≈99%.
+	if big < 9700 || big > 10000 {
+		t.Fatalf("node-weighted sampling drew the 99-node job %d/10000 times", big)
+	}
+}
+
+func TestSamplerMaxNodeHours(t *testing.T) {
+	trace := []Job{
+		{ID: 1, Nodes: 2, Duration: time.Hour},
+		{ID: 2, Nodes: 5, Duration: 10 * time.Hour},
+	}
+	s := NewSampler(trace)
+	if got := s.MaxNodeHours(); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("MaxNodeHours = %v", got)
+	}
+	if len(s.Jobs()) != 2 {
+		t.Fatal("Jobs accessor wrong")
+	}
+}
+
+func TestSamplerPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSampler(nil)
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Count: 0, MaxNodes: 10, SizeScale: 1, MaxDurationHours: 1},
+		{Count: 10, MaxNodes: 0, SizeScale: 1, MaxDurationHours: 1},
+		{Count: 10, MaxNodes: 10, SizeScale: 0, MaxDurationHours: 1},
+		{Count: 10, MaxNodes: 10, SizeScale: 1, MaxDurationHours: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+}
+
+func TestYoungDalyInterval(t *testing.T) {
+	// 24h MTBF, 2-minute checkpoints: Young's first-order term is
+	// sqrt(2*120*86400) s ~= 1.27 h; Daly's correction keeps it close.
+	got := YoungDalyInterval(24*time.Hour, 2*time.Minute)
+	if got < time.Hour || got > 2*time.Hour {
+		t.Fatalf("interval = %v, want ~1.3h", got)
+	}
+	// Longer MTBF means longer interval.
+	longer := YoungDalyInterval(240*time.Hour, 2*time.Minute)
+	if longer <= got {
+		t.Fatal("interval should grow with MTBF")
+	}
+	// Degenerate inputs.
+	if YoungDalyInterval(0, time.Minute) != 0 {
+		t.Fatal("zero MTBF should return 0")
+	}
+	if YoungDalyInterval(time.Hour, 0) != 0 {
+		t.Fatal("zero cost should return 0")
+	}
+	if YoungDalyInterval(time.Minute, 10*time.Hour) != time.Minute {
+		t.Fatal("absurd checkpoint cost should clamp to MTBF")
+	}
+}
+
+func TestExpectedPeriodicOverhead(t *testing.T) {
+	// 1h interval, 2min writes, 100h MTBF: 2/60 write fraction + 0.5/100.
+	got := ExpectedPeriodicOverhead(time.Hour, 2*time.Minute, 100*time.Hour)
+	want := 2.0/60 + 0.5/100
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("overhead = %v, want %v", got, want)
+	}
+	if ExpectedPeriodicOverhead(0, time.Minute, time.Hour) != 0 {
+		t.Fatal("degenerate interval")
+	}
+	// The Young/Daly interval should have lower overhead than intervals
+	// 4x away in either direction.
+	mtbf, c := 48*time.Hour, 5*time.Minute
+	opt := YoungDalyInterval(mtbf, c)
+	at := func(t0 time.Duration) float64 { return ExpectedPeriodicOverhead(t0, c, mtbf) }
+	if at(opt) > at(opt*4) || at(opt) > at(opt/4) {
+		t.Fatalf("Young/Daly interval not near-optimal: %v@%v vs %v@%v and %v@%v",
+			at(opt), opt, at(opt*4), opt*4, at(opt/4), opt/4)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	st := Stats(nil)
+	if st.Count != 0 || st.MaxNodeHours != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+}

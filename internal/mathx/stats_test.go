@@ -1,0 +1,137 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.N() != 0 {
+		t.Error("zero value should report zeros")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Errorf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v", w.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if math.Abs(w.Var()-32.0/7.0) > 1e-9 {
+		t.Errorf("var = %v", w.Var())
+	}
+	if math.Abs(w.Std()-math.Sqrt(32.0/7.0)) > 1e-9 {
+		t.Errorf("std = %v", w.Std())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.3); math.Abs(got-3) > 1e-12 {
+		t.Errorf("interpolated quantile = %v, want 3", got)
+	}
+}
+
+func TestMeanSum(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Sum([]float64{1.5, 2.5}); got != 4 {
+		t.Errorf("Sum = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp wrong")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax([]float64{1, 3, 3, 2}) != 1 {
+		t.Error("ArgMax should break ties low")
+	}
+	if ArgMax([]float64{-5}) != 0 {
+		t.Error("single element")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0, 0.5, 1.5, 2.5, 99, -5}, 0, 3, 3)
+	if h[0] != 3 || h[1] != 1 || h[2] != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+	if got := Histogram(nil, 0, 0, 0); len(got) != 0 {
+		t.Error("degenerate histogram")
+	}
+}
+
+func TestLogBinIndex(t *testing.T) {
+	if LogBinIndex(0.5, 1, 2) != -1 {
+		t.Error("below lo should be -1")
+	}
+	if LogBinIndex(1, 1, 2) != 0 {
+		t.Error("x=lo should be bin 0")
+	}
+	if got := LogBinIndex(10, 1, 2); got != 2 {
+		t.Errorf("one decade with 2 bins/decade = %d, want 2", got)
+	}
+	if got := LogBinIndex(1000, 1, 1); got != 3 {
+		t.Errorf("three decades = %d, want 3", got)
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(x float64) bool {
+		v := Clamp(x, -1, 1)
+		return v >= -1 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	g := NewRNG(5)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = g.NormFloat64()
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := Quantile(xs, q)
+		if v < prev-1e-12 {
+			t.Fatalf("quantile not monotone at q=%v", q)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,208 @@
+// Package mcelogfmt reads and writes a textual, mcelog-flavoured
+// representation of the error log. The corrected-error daemon of §2.1.1 is
+// based on Linux mcelog, which reports machine-check records as key/value
+// blocks; operators are used to grepping that shape. This package renders
+// our records in that style and parses them back, so logs can round-trip
+// through operator tooling as well as the CSV codec.
+//
+// A record looks like:
+//
+//	MCE 0
+//	TIME 2014-10-01T00:04:17Z
+//	NODE 17
+//	DIMM 139 MANUFACTURER B
+//	TYPE CE COUNT 12
+//	ADDR RANK 1 BANK 3 ROW 4096 COL 17
+//	FOUND scrub
+//
+// Blocks are separated by blank lines. Fields missing from a record keep
+// their zero/unknown values (-1 for locations).
+package mcelogfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/errlog"
+)
+
+// Write renders the log in mcelog-flavoured text.
+func Write(w io.Writer, l *errlog.Log) error {
+	bw := bufio.NewWriter(w)
+	for i, e := range l.Events {
+		if i > 0 {
+			if _, err := fmt.Fprintln(bw); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(bw, "MCE %d\n", i)
+		fmt.Fprintf(bw, "TIME %s\n", e.Time.Format(time.RFC3339Nano))
+		fmt.Fprintf(bw, "NODE %d\n", e.Node)
+		fmt.Fprintf(bw, "DIMM %d MANUFACTURER %s\n", e.DIMM, e.Manufacturer)
+		fmt.Fprintf(bw, "TYPE %s COUNT %d\n", e.Type, e.Count)
+		if e.Rank >= 0 || e.Bank >= 0 || e.Row >= 0 || e.Col >= 0 {
+			fmt.Fprintf(bw, "ADDR RANK %d BANK %d ROW %d COL %d\n", e.Rank, e.Bank, e.Row, e.Col)
+		}
+		found := "read"
+		if e.Scrub {
+			found = "scrub"
+		}
+		fmt.Fprintf(bw, "FOUND %s\n", found)
+		if e.OverTemp {
+			fmt.Fprintln(bw, "FLAG overtemp")
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses text produced by Write (tolerating reordered fields within a
+// block). It returns the events in file order.
+func Read(r io.Reader) (*errlog.Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	l := &errlog.Log{}
+	cur := newEvent()
+	inBlock := false
+	line := 0
+	flush := func() {
+		if inBlock {
+			l.Events = append(l.Events, cur)
+			cur = newEvent()
+			inBlock = false
+		}
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			flush()
+			continue
+		}
+		fields := strings.Fields(text)
+		if err := applyField(&cur, fields); err != nil {
+			return nil, fmt.Errorf("mcelogfmt: line %d: %w", line, err)
+		}
+		inBlock = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	flush()
+	return l, nil
+}
+
+func newEvent() errlog.Event {
+	return errlog.Event{DIMM: -1, Count: 1, Rank: -1, Bank: -1, Row: -1, Col: -1}
+}
+
+func applyField(e *errlog.Event, fields []string) error {
+	switch fields[0] {
+	case "MCE":
+		return nil // record index, informational
+	case "TIME":
+		if len(fields) < 2 {
+			return fmt.Errorf("TIME needs a value")
+		}
+		t, err := time.Parse(time.RFC3339Nano, fields[1])
+		if err != nil {
+			return fmt.Errorf("bad TIME %q: %w", fields[1], err)
+		}
+		e.Time = t
+	case "NODE":
+		return parseInt(fields, 1, &e.Node)
+	case "DIMM":
+		if err := parseInt(fields, 1, &e.DIMM); err != nil {
+			return err
+		}
+		if idx := indexOf(fields, "MANUFACTURER"); idx >= 0 && idx+1 < len(fields) {
+			switch fields[idx+1] {
+			case "A":
+				e.Manufacturer = errlog.ManufacturerA
+			case "B":
+				e.Manufacturer = errlog.ManufacturerB
+			case "C":
+				e.Manufacturer = errlog.ManufacturerC
+			default:
+				return fmt.Errorf("bad MANUFACTURER %q", fields[idx+1])
+			}
+		}
+	case "TYPE":
+		if len(fields) < 2 {
+			return fmt.Errorf("TYPE needs a value")
+		}
+		switch fields[1] {
+		case "CE":
+			e.Type = errlog.CE
+		case "UE":
+			e.Type = errlog.UE
+		case "UEW":
+			e.Type = errlog.UEWarning
+		case "BOOT":
+			e.Type = errlog.Boot
+		case "RETIRE":
+			e.Type = errlog.Retirement
+		default:
+			return fmt.Errorf("bad TYPE %q", fields[1])
+		}
+		if idx := indexOf(fields, "COUNT"); idx >= 0 {
+			if err := parseInt(fields, idx+1, &e.Count); err != nil {
+				return err
+			}
+		}
+	case "ADDR":
+		for _, pair := range []struct {
+			key string
+			dst *int
+		}{{"RANK", &e.Rank}, {"BANK", &e.Bank}, {"ROW", &e.Row}, {"COL", &e.Col}} {
+			if idx := indexOf(fields, pair.key); idx >= 0 {
+				if err := parseInt(fields, idx+1, pair.dst); err != nil {
+					return err
+				}
+			}
+		}
+	case "FOUND":
+		if len(fields) < 2 {
+			return fmt.Errorf("FOUND needs a value")
+		}
+		switch fields[1] {
+		case "scrub":
+			e.Scrub = true
+		case "read":
+			e.Scrub = false
+		default:
+			return fmt.Errorf("bad FOUND %q", fields[1])
+		}
+	case "FLAG":
+		if len(fields) > 1 && fields[1] == "overtemp" {
+			e.OverTemp = true
+		}
+	default:
+		return fmt.Errorf("unknown field %q", fields[0])
+	}
+	return nil
+}
+
+func indexOf(fields []string, key string) int {
+	for i, f := range fields {
+		if f == key {
+			return i
+		}
+	}
+	return -1
+}
+
+func parseInt(fields []string, idx int, dst *int) error {
+	if idx >= len(fields) {
+		return fmt.Errorf("missing integer value")
+	}
+	v, err := strconv.Atoi(fields[idx])
+	if err != nil {
+		return fmt.Errorf("bad integer %q: %w", fields[idx], err)
+	}
+	*dst = v
+	return nil
+}

@@ -1,0 +1,136 @@
+package mcelogfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/errlog"
+	"repro/internal/telemetry"
+)
+
+var t0 = time.Date(2014, 10, 1, 0, 4, 17, 0, time.UTC)
+
+func sampleLog() *errlog.Log {
+	return &errlog.Log{Events: []errlog.Event{
+		{Time: t0, Node: 17, DIMM: 139, Manufacturer: errlog.ManufacturerB,
+			Type: errlog.CE, Count: 12, Rank: 1, Bank: 3, Row: 4096, Col: 17, Scrub: true},
+		{Time: t0.Add(time.Hour), Node: 17, DIMM: 139, Manufacturer: errlog.ManufacturerB,
+			Type: errlog.UE, Count: 1, Rank: -1, Bank: -1, Row: -1, Col: -1, OverTemp: true},
+		{Time: t0.Add(2 * time.Hour), Node: 20, DIMM: -1, Manufacturer: errlog.ManufacturerC,
+			Type: errlog.Boot, Count: 1, Rank: -1, Bank: -1, Row: -1, Col: -1},
+	}}
+}
+
+func TestRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(l.Events) {
+		t.Fatalf("events = %d, want %d", len(got.Events), len(l.Events))
+	}
+	for i := range got.Events {
+		if got.Events[i] != l.Events[i] {
+			t.Fatalf("event %d:\n got %+v\nwant %+v", i, got.Events[i], l.Events[i])
+		}
+	}
+}
+
+func TestWriteShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleLog()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MCE 0", "TIME 2014-10-01T00:04:17Z", "NODE 17",
+		"DIMM 139 MANUFACTURER B", "TYPE CE COUNT 12",
+		"ADDR RANK 1 BANK 3 ROW 4096 COL 17", "FOUND scrub", "FLAG overtemp"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Boot record has no ADDR line.
+	blocks := strings.Split(out, "\n\n")
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	if strings.Contains(blocks[2], "ADDR") {
+		t.Error("boot block should omit ADDR")
+	}
+}
+
+func TestReadToleratesReorderedFields(t *testing.T) {
+	in := "NODE 5\nTIME 2015-01-01T00:00:00Z\nTYPE CE COUNT 3\nDIMM 40 MANUFACTURER A\n"
+	l, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Events) != 1 {
+		t.Fatalf("events = %d", len(l.Events))
+	}
+	e := l.Events[0]
+	if e.Node != 5 || e.Count != 3 || e.DIMM != 40 || e.Manufacturer != errlog.ManufacturerA {
+		t.Fatalf("parsed = %+v", e)
+	}
+	// Unset locations default to -1.
+	if e.Rank != -1 || e.Row != -1 {
+		t.Fatalf("locations should default to -1: %+v", e)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"TIME notatime\n",
+		"TYPE WHAT\n",
+		"NODE x\n",
+		"BOGUS 1\n",
+		"FOUND maybe\n",
+		"DIMM 1 MANUFACTURER Q\n",
+		"TIME\n",
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, in)
+		}
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	l, err := Read(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Events) != 0 {
+		t.Fatal("expected empty log")
+	}
+}
+
+func TestRoundTripGeneratedLog(t *testing.T) {
+	// Property-style check on a real synthetic log slice.
+	cfg := telemetry.Default().Scale(0.01)
+	full := telemetry.Generate(cfg)
+	l := &errlog.Log{Events: full.Events[:min(500, len(full.Events))]}
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(l.Events) {
+		t.Fatalf("events = %d, want %d", len(got.Events), len(l.Events))
+	}
+	for i := range got.Events {
+		if got.Events[i] != l.Events[i] {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+}

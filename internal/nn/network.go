@@ -1,0 +1,415 @@
+// Package nn implements the small dense neural networks used by the deep
+// Q-learning agent: fully connected layers with ReLU activations, an
+// optional dueling head (Wang et al., ICML 2016), manual backpropagation,
+// Huber and squared losses with per-sample importance weights, and the
+// SGD/RMSProp/Adam optimizers. Everything is float64 and stdlib-only.
+//
+// The package is deliberately scoped to what the paper's agent needs
+// (§3.3.2: an MLP with hidden layers 256-256-128-64 feeding a dueling
+// value/advantage head), but the layers and optimizers are generic.
+package nn
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Config describes a feed-forward network.
+type Config struct {
+	// Inputs is the input dimension.
+	Inputs int
+	// Hidden lists the hidden layer widths, e.g. {256, 256, 128, 64}.
+	Hidden []int
+	// Outputs is the number of outputs (Q-values, one per action).
+	Outputs int
+	// Dueling selects the dueling architecture: the last hidden layer feeds
+	// separate value and advantage streams recombined as
+	// Q(s,a) = V(s) + A(s,a) - mean_a' A(s,a').
+	Dueling bool
+	// Seed seeds weight initialization.
+	Seed int64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Inputs <= 0 {
+		return fmt.Errorf("nn: Inputs must be positive, got %d", c.Inputs)
+	}
+	if c.Outputs <= 0 {
+		return fmt.Errorf("nn: Outputs must be positive, got %d", c.Outputs)
+	}
+	for i, h := range c.Hidden {
+		if h <= 0 {
+			return fmt.Errorf("nn: Hidden[%d] must be positive, got %d", i, h)
+		}
+	}
+	return nil
+}
+
+// Param is one trainable tensor with its gradient accumulator.
+type Param struct {
+	W []float64 // values
+	G []float64 // accumulated gradient
+}
+
+// dense is one fully connected layer: y = W x + b, with W stored row-major
+// (out x in).
+type dense struct {
+	in, out int
+	w, b    *Param
+}
+
+func newDense(in, out int, rng *mathx.RNG) *dense {
+	d := &dense{
+		in:  in,
+		out: out,
+		w:   &Param{W: make([]float64, in*out), G: make([]float64, in*out)},
+		b:   &Param{W: make([]float64, out), G: make([]float64, out)},
+	}
+	// He initialization, appropriate for ReLU units.
+	std := math.Sqrt(2.0 / float64(in))
+	for i := range d.w.W {
+		d.w.W[i] = rng.NormFloat64() * std
+	}
+	return d
+}
+
+func (d *dense) forward(x, y []float64) {
+	for o := 0; o < d.out; o++ {
+		sum := d.b.W[o]
+		row := d.w.W[o*d.in : (o+1)*d.in]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		y[o] = sum
+	}
+}
+
+// backward accumulates gradients given the layer input x and upstream
+// gradient dy, and writes the input gradient into dx (which may be nil for
+// the first layer).
+func (d *dense) backward(x, dy, dx []float64) {
+	for o := 0; o < d.out; o++ {
+		g := dy[o]
+		if g == 0 {
+			continue
+		}
+		row := d.w.G[o*d.in : (o+1)*d.in]
+		for i, xi := range x {
+			row[i] += g * xi
+		}
+		d.b.G[o] += g
+	}
+	if dx != nil {
+		for i := range dx {
+			dx[i] = 0
+		}
+		for o := 0; o < d.out; o++ {
+			g := dy[o]
+			if g == 0 {
+				continue
+			}
+			row := d.w.W[o*d.in : (o+1)*d.in]
+			for i := range dx {
+				dx[i] += g * row[i]
+			}
+		}
+	}
+}
+
+// Network is a dense feed-forward network with ReLU hidden activations and
+// an optional dueling output head. Networks are not safe for concurrent
+// mutation; training code must own the network. Forward is safe to call
+// concurrently only on distinct Scratch values via ForwardInto.
+type Network struct {
+	cfg    Config
+	hidden []*dense
+	// Non-dueling output layer.
+	out *dense
+	// Dueling heads from the last hidden layer.
+	value, adv *dense
+}
+
+// New builds a network from cfg, panicking on invalid configuration (the
+// configuration is developer-supplied, never user data).
+func New(cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	n := &Network{cfg: cfg}
+	prev := cfg.Inputs
+	for _, h := range cfg.Hidden {
+		n.hidden = append(n.hidden, newDense(prev, h, rng))
+		prev = h
+	}
+	if cfg.Dueling {
+		n.value = newDense(prev, 1, rng)
+		n.adv = newDense(prev, cfg.Outputs, rng)
+	} else {
+		n.out = newDense(prev, cfg.Outputs, rng)
+	}
+	return n
+}
+
+// Config returns the configuration the network was built with.
+func (n *Network) Config() Config { return n.cfg }
+
+// Params returns all trainable parameters in a stable order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, d := range n.hidden {
+		ps = append(ps, d.w, d.b)
+	}
+	if n.cfg.Dueling {
+		ps = append(ps, n.value.w, n.value.b, n.adv.w, n.adv.b)
+	} else {
+		ps = append(ps, n.out.w, n.out.b)
+	}
+	return ps
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		for i := range p.G {
+			p.G[i] = 0
+		}
+	}
+}
+
+// Scratch holds per-forward intermediate activations so that forward and
+// backward passes allocate nothing in steady state.
+type Scratch struct {
+	// acts[0] is the input; acts[i+1] is the post-activation output of
+	// hidden layer i; the final entries hold head outputs.
+	acts [][]float64
+	// pre[i] is the pre-activation output of hidden layer i.
+	pre   [][]float64
+	vOut  []float64
+	aOut  []float64
+	q     []float64
+	dA    []float64
+	dPrev []float64
+	dCur  []float64
+}
+
+// NewScratch allocates scratch space sized for n.
+func (n *Network) NewScratch() *Scratch {
+	s := &Scratch{}
+	s.acts = append(s.acts, make([]float64, n.cfg.Inputs))
+	maxw := n.cfg.Inputs
+	for _, d := range n.hidden {
+		s.pre = append(s.pre, make([]float64, d.out))
+		s.acts = append(s.acts, make([]float64, d.out))
+		if d.out > maxw {
+			maxw = d.out
+		}
+	}
+	if n.cfg.Outputs > maxw {
+		maxw = n.cfg.Outputs
+	}
+	s.vOut = make([]float64, 1)
+	s.aOut = make([]float64, n.cfg.Outputs)
+	s.q = make([]float64, n.cfg.Outputs)
+	s.dA = make([]float64, n.cfg.Outputs)
+	s.dPrev = make([]float64, maxw)
+	s.dCur = make([]float64, maxw)
+	return s
+}
+
+// Forward computes Q-values for input x, allocating a fresh output slice.
+// For hot paths use ForwardInto with a reused Scratch.
+func (n *Network) Forward(x []float64) []float64 {
+	s := n.NewScratch()
+	q := n.ForwardInto(s, x)
+	out := make([]float64, len(q))
+	copy(out, q)
+	return out
+}
+
+// ForwardInto runs a forward pass using s for intermediates and returns the
+// output slice owned by s (valid until the next ForwardInto on s).
+func (n *Network) ForwardInto(s *Scratch, x []float64) []float64 {
+	if len(x) != n.cfg.Inputs {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), n.cfg.Inputs))
+	}
+	copy(s.acts[0], x)
+	cur := s.acts[0]
+	for i, d := range n.hidden {
+		d.forward(cur, s.pre[i])
+		relu(s.pre[i], s.acts[i+1])
+		cur = s.acts[i+1]
+	}
+	if n.cfg.Dueling {
+		n.value.forward(cur, s.vOut)
+		n.adv.forward(cur, s.aOut)
+		meanA := mathx.Mean(s.aOut)
+		for i := range s.q {
+			s.q[i] = s.vOut[0] + s.aOut[i] - meanA
+		}
+	} else {
+		n.out.forward(cur, s.q)
+	}
+	return s.q
+}
+
+// Backward accumulates parameter gradients for the most recent ForwardInto
+// on s, given dLoss/dOutput in dOut. It must be called with the same Scratch
+// used for the forward pass, before any further forward passes on it.
+func (n *Network) Backward(s *Scratch, dOut []float64) {
+	last := len(n.hidden) // index of last activation in s.acts
+	lastAct := s.acts[last]
+	nh := len(n.hidden)
+	width := n.cfg.Inputs
+	if nh > 0 {
+		width = n.hidden[nh-1].out
+	}
+	dHidden := s.dCur[:width]
+	if n.cfg.Dueling {
+		// Q_i = V + A_i - mean(A). dV = sum_i dQ_i; dA_j = dQ_j - mean(dQ).
+		sum := 0.0
+		for _, g := range dOut {
+			sum += g
+		}
+		meanG := sum / float64(len(dOut))
+		for i := range s.dA {
+			s.dA[i] = dOut[i] - meanG
+		}
+		dv := []float64{sum}
+		// Both heads contribute to the last hidden gradient.
+		n.value.backward(lastAct, dv, dHidden)
+		tmp := s.dPrev[:width]
+		n.adv.backward(lastAct, s.dA, tmp)
+		for i := range dHidden {
+			dHidden[i] += tmp[i]
+		}
+	} else {
+		n.out.backward(lastAct, dOut, dHidden)
+	}
+	// Walk hidden layers in reverse.
+	dy := dHidden
+	for i := nh - 1; i >= 0; i-- {
+		// Apply ReLU derivative at layer i's pre-activation.
+		for j := range dy {
+			if s.pre[i][j] <= 0 {
+				dy[j] = 0
+			}
+		}
+		var dx []float64
+		if i > 0 {
+			dx = s.dPrev[:n.hidden[i-1].out]
+		} else {
+			dx = nil
+		}
+		n.hidden[i].backward(s.acts[i], dy, dx)
+		if dx != nil {
+			// Swap buffers for next iteration.
+			copy(s.dCur[:len(dx)], dx)
+			dy = s.dCur[:len(dx)]
+		}
+	}
+}
+
+func relu(pre, post []float64) {
+	for i, v := range pre {
+		if v > 0 {
+			post[i] = v
+		} else {
+			post[i] = 0
+		}
+	}
+}
+
+// Clone returns a deep copy with identical weights and zeroed gradients.
+func (n *Network) Clone() *Network {
+	c := New(n.cfg)
+	c.CopyFrom(n)
+	return c
+}
+
+// CopyFrom copies src's weights into n (a hard target-network sync). The
+// architectures must match.
+func (n *Network) CopyFrom(src *Network) {
+	dst := n.Params()
+	from := src.Params()
+	if len(dst) != len(from) {
+		panic("nn: CopyFrom architecture mismatch")
+	}
+	for i, p := range dst {
+		if len(p.W) != len(from[i].W) {
+			panic("nn: CopyFrom parameter shape mismatch")
+		}
+		copy(p.W, from[i].W)
+	}
+}
+
+// SoftUpdate blends src into n: w <- (1-tau) w + tau src.w. tau=1 is a hard
+// sync.
+func (n *Network) SoftUpdate(src *Network, tau float64) {
+	dst := n.Params()
+	from := src.Params()
+	if len(dst) != len(from) {
+		panic("nn: SoftUpdate architecture mismatch")
+	}
+	for i, p := range dst {
+		for j := range p.W {
+			p.W[j] = (1-tau)*p.W[j] + tau*from[i].W[j]
+		}
+	}
+}
+
+// snapshot is the JSON serialization form.
+type snapshot struct {
+	Config Config      `json:"config"`
+	Params [][]float64 `json:"params"`
+}
+
+// MarshalJSON serializes the architecture and weights.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	snap := snapshot{Config: n.cfg}
+	for _, p := range n.Params() {
+		w := make([]float64, len(p.W))
+		copy(w, p.W)
+		snap.Params = append(snap.Params, w)
+	}
+	return json.Marshal(snap)
+}
+
+// UnmarshalJSON restores a network serialized by MarshalJSON.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return err
+	}
+	if err := snap.Config.Validate(); err != nil {
+		return err
+	}
+	restored := New(snap.Config)
+	ps := restored.Params()
+	if len(ps) != len(snap.Params) {
+		return errors.New("nn: serialized parameter count mismatch")
+	}
+	for i, p := range ps {
+		if len(p.W) != len(snap.Params[i]) {
+			return fmt.Errorf("nn: serialized parameter %d has %d values, want %d",
+				i, len(snap.Params[i]), len(p.W))
+		}
+		copy(p.W, snap.Params[i])
+	}
+	*n = *restored
+	return nil
+}
+
+// NumParams returns the total number of trainable scalars.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.W)
+	}
+	return total
+}

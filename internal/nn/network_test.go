@@ -1,0 +1,295 @@
+package nn
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Inputs: 0, Outputs: 2},
+		{Inputs: 3, Outputs: 0},
+		{Inputs: 3, Outputs: 2, Hidden: []int{4, -1}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	good := Config{Inputs: 3, Outputs: 2, Hidden: []int{8}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestForwardShapes(t *testing.T) {
+	n := New(Config{Inputs: 4, Hidden: []int{8, 6}, Outputs: 2, Seed: 1})
+	q := n.Forward([]float64{1, 2, 3, 4})
+	if len(q) != 2 {
+		t.Fatalf("output len %d", len(q))
+	}
+	d := New(Config{Inputs: 4, Hidden: []int{8}, Outputs: 3, Dueling: true, Seed: 1})
+	q = d.Forward([]float64{1, 0, -1, 2})
+	if len(q) != 3 {
+		t.Fatalf("dueling output len %d", len(q))
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	a := New(Config{Inputs: 3, Hidden: []int{5}, Outputs: 2, Seed: 9})
+	b := New(Config{Inputs: 3, Hidden: []int{5}, Outputs: 2, Seed: 9})
+	x := []float64{0.5, -1, 2}
+	qa, qb := a.Forward(x), b.Forward(x)
+	for i := range qa {
+		if qa[i] != qb[i] {
+			t.Fatal("same seed networks differ")
+		}
+	}
+	c := New(Config{Inputs: 3, Hidden: []int{5}, Outputs: 2, Seed: 10})
+	qc := c.Forward(x)
+	same := true
+	for i := range qa {
+		if qa[i] != qc[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical outputs")
+	}
+}
+
+func TestDuelingMeanInvariant(t *testing.T) {
+	// In a dueling head, Q(s,a) - V(s) must have zero mean over actions;
+	// equivalently mean_a Q(s,a) == V(s). We can't read V directly, but a
+	// network with zero advantage weights must output identical Q values.
+	n := New(Config{Inputs: 2, Hidden: []int{4}, Outputs: 3, Dueling: true, Seed: 3})
+	for i := range n.adv.w.W {
+		n.adv.w.W[i] = 0
+	}
+	for i := range n.adv.b.W {
+		n.adv.b.W[i] = 0
+	}
+	q := n.Forward([]float64{1, -1})
+	for i := 1; i < len(q); i++ {
+		if math.Abs(q[i]-q[0]) > 1e-12 {
+			t.Fatalf("zero-advantage dueling outputs differ: %v", q)
+		}
+	}
+}
+
+// numericalGrad estimates dLoss/dw for every parameter scalar by central
+// differences, where loss = 0.5 * sum((q - target)^2).
+func numericalGrad(n *Network, x, target []float64) [][]float64 {
+	const h = 1e-6
+	loss := func() float64 {
+		q := n.Forward(x)
+		l := 0.0
+		for i := range q {
+			d := q[i] - target[i]
+			l += 0.5 * d * d
+		}
+		return l
+	}
+	var grads [][]float64
+	for _, p := range n.Params() {
+		g := make([]float64, len(p.W))
+		for i := range p.W {
+			orig := p.W[i]
+			p.W[i] = orig + h
+			up := loss()
+			p.W[i] = orig - h
+			down := loss()
+			p.W[i] = orig
+			g[i] = (up - down) / (2 * h)
+		}
+		grads = append(grads, g)
+	}
+	return grads
+}
+
+func checkGradients(t *testing.T, cfg Config) {
+	t.Helper()
+	n := New(cfg)
+	rng := mathx.NewRNG(99)
+	x := make([]float64, cfg.Inputs)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	target := make([]float64, cfg.Outputs)
+	for i := range target {
+		target[i] = rng.NormFloat64()
+	}
+	s := n.NewScratch()
+	q := n.ForwardInto(s, x)
+	dOut := make([]float64, len(q))
+	for i := range q {
+		dOut[i] = q[i] - target[i]
+	}
+	n.ZeroGrad()
+	n.Backward(s, dOut)
+	want := numericalGrad(n, x, target)
+	for pi, p := range n.Params() {
+		for i := range p.G {
+			diff := math.Abs(p.G[i] - want[pi][i])
+			scale := math.Max(1, math.Abs(want[pi][i]))
+			if diff/scale > 1e-4 {
+				t.Fatalf("param %d index %d: analytic %v numeric %v",
+					pi, i, p.G[i], want[pi][i])
+			}
+		}
+	}
+}
+
+func TestGradientsPlain(t *testing.T) {
+	checkGradients(t, Config{Inputs: 5, Hidden: []int{7, 6}, Outputs: 3, Seed: 2})
+}
+
+func TestGradientsDueling(t *testing.T) {
+	checkGradients(t, Config{Inputs: 5, Hidden: []int{7, 6}, Outputs: 3, Dueling: true, Seed: 2})
+}
+
+func TestGradientsNoHidden(t *testing.T) {
+	checkGradients(t, Config{Inputs: 4, Outputs: 2, Seed: 5})
+}
+
+func TestGradientsDeepPaperArch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	checkGradients(t, Config{Inputs: 14, Hidden: []int{16, 16, 8, 4}, Outputs: 2, Dueling: true, Seed: 7})
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	// Fit a tiny regression problem: Q(x) = [sum(x), -sum(x)].
+	n := New(Config{Inputs: 3, Hidden: []int{16, 16}, Outputs: 2, Dueling: true, Seed: 4})
+	opt := &Adam{LR: 0.01}
+	rng := mathx.NewRNG(8)
+	s := n.NewScratch()
+	lossAt := func() float64 {
+		total := 0.0
+		probe := mathx.NewRNG(123)
+		for k := 0; k < 50; k++ {
+			x := []float64{probe.NormFloat64(), probe.NormFloat64(), probe.NormFloat64()}
+			sum := x[0] + x[1] + x[2]
+			q := n.ForwardInto(s, x)
+			total += (q[0]-sum)*(q[0]-sum) + (q[1]+sum)*(q[1]+sum)
+		}
+		return total / 50
+	}
+	before := lossAt()
+	dOut := make([]float64, 2)
+	for step := 0; step < 2000; step++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		sum := x[0] + x[1] + x[2]
+		q := n.ForwardInto(s, x)
+		dOut[0] = q[0] - sum
+		dOut[1] = q[1] + sum
+		n.ZeroGrad()
+		n.Backward(s, dOut)
+		opt.Step(n.Params())
+	}
+	after := lossAt()
+	if after > before/10 {
+		t.Fatalf("training did not reduce loss: before %v after %v", before, after)
+	}
+}
+
+func TestCloneAndCopyFrom(t *testing.T) {
+	a := New(Config{Inputs: 3, Hidden: []int{4}, Outputs: 2, Seed: 1})
+	b := a.Clone()
+	x := []float64{1, 2, 3}
+	qa, qb := a.Forward(x), b.Forward(x)
+	for i := range qa {
+		if qa[i] != qb[i] {
+			t.Fatal("clone differs")
+		}
+	}
+	// Mutating the clone must not touch the original.
+	b.Params()[0].W[0] += 1
+	qa2 := a.Forward(x)
+	for i := range qa {
+		if qa[i] != qa2[i] {
+			t.Fatal("clone shares storage with original")
+		}
+	}
+	// CopyFrom restores equality.
+	b.CopyFrom(a)
+	qb = b.Forward(x)
+	for i := range qa {
+		if qa[i] != qb[i] {
+			t.Fatal("CopyFrom did not sync")
+		}
+	}
+}
+
+func TestSoftUpdate(t *testing.T) {
+	a := New(Config{Inputs: 2, Outputs: 1, Seed: 1})
+	b := New(Config{Inputs: 2, Outputs: 1, Seed: 2})
+	w0 := b.Params()[0].W[0]
+	target := a.Params()[0].W[0]
+	b.SoftUpdate(a, 0.5)
+	got := b.Params()[0].W[0]
+	want := 0.5*w0 + 0.5*target
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("soft update got %v want %v", got, want)
+	}
+	b.SoftUpdate(a, 1)
+	if b.Params()[0].W[0] != target {
+		t.Fatal("tau=1 should hard sync")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	a := New(Config{Inputs: 6, Hidden: []int{8, 4}, Outputs: 2, Dueling: true, Seed: 42})
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Network
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, -2, 3, 0, 0.5, -0.5}
+	qa, qb := a.Forward(x), b.Forward(x)
+	for i := range qa {
+		if qa[i] != qb[i] {
+			t.Fatalf("round trip output mismatch: %v vs %v", qa, qb)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var n Network
+	if err := json.Unmarshal([]byte(`{"config":{"Inputs":0}}`), &n); err == nil {
+		t.Fatal("expected error for invalid config")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &n); err == nil {
+		t.Fatal("expected error for bad json")
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	n := New(Config{Inputs: 3, Hidden: []int{4}, Outputs: 2, Seed: 1})
+	// dense 3->4: 12+4; out 4->2: 8+2 = 26.
+	if got := n.NumParams(); got != 26 {
+		t.Fatalf("NumParams = %d, want 26", got)
+	}
+	d := New(Config{Inputs: 3, Hidden: []int{4}, Outputs: 2, Dueling: true, Seed: 1})
+	// dense 3->4: 16; value 4->1: 5; adv 4->2: 10 = 31.
+	if got := d.NumParams(); got != 31 {
+		t.Fatalf("dueling NumParams = %d, want 31", got)
+	}
+}
+
+func TestForwardPanicsOnBadInput(t *testing.T) {
+	n := New(Config{Inputs: 3, Outputs: 1, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong input size")
+		}
+	}()
+	n.Forward([]float64{1})
+}

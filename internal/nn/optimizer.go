@@ -1,0 +1,146 @@
+package nn
+
+import "math"
+
+// Optimizer applies accumulated gradients to parameters. Implementations
+// keep per-parameter state keyed by position, so an optimizer must always be
+// used with the same parameter list.
+type Optimizer interface {
+	// Step applies one update using the gradients currently accumulated in
+	// params and leaves the gradients untouched (callers ZeroGrad between
+	// batches).
+	Step(params []*Param)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      [][]float64
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param) {
+	if o.Momentum == 0 {
+		for _, p := range params {
+			for i := range p.W {
+				p.W[i] -= o.LR * p.G[i]
+			}
+		}
+		return
+	}
+	if o.vel == nil {
+		o.vel = makeState(params)
+	}
+	for pi, p := range params {
+		v := o.vel[pi]
+		for i := range p.W {
+			v[i] = o.Momentum*v[i] + p.G[i]
+			p.W[i] -= o.LR * v[i]
+		}
+	}
+}
+
+// RMSProp implements the RMSProp update used by early DQN work.
+type RMSProp struct {
+	LR    float64
+	Decay float64 // typically 0.99
+	Eps   float64 // typically 1e-8
+	sq    [][]float64
+}
+
+// Step implements Optimizer.
+func (o *RMSProp) Step(params []*Param) {
+	if o.sq == nil {
+		o.sq = makeState(params)
+	}
+	decay := o.Decay
+	if decay == 0 {
+		decay = 0.99
+	}
+	eps := o.Eps
+	if eps == 0 {
+		eps = 1e-8
+	}
+	for pi, p := range params {
+		s := o.sq[pi]
+		for i := range p.W {
+			g := p.G[i]
+			s[i] = decay*s[i] + (1-decay)*g*g
+			p.W[i] -= o.LR * g / (math.Sqrt(s[i]) + eps)
+		}
+	}
+}
+
+// Adam implements Adam (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR    float64
+	Beta1 float64 // default 0.9
+	Beta2 float64 // default 0.999
+	Eps   float64 // default 1e-8
+	t     int
+	m, v  [][]float64
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	if o.m == nil {
+		o.m = makeState(params)
+		o.v = makeState(params)
+	}
+	b1 := o.Beta1
+	if b1 == 0 {
+		b1 = 0.9
+	}
+	b2 := o.Beta2
+	if b2 == 0 {
+		b2 = 0.999
+	}
+	eps := o.Eps
+	if eps == 0 {
+		eps = 1e-8
+	}
+	o.t++
+	c1 := 1 - math.Pow(b1, float64(o.t))
+	c2 := 1 - math.Pow(b2, float64(o.t))
+	for pi, p := range params {
+		m := o.m[pi]
+		v := o.v[pi]
+		for i := range p.W {
+			g := p.G[i]
+			m[i] = b1*m[i] + (1-b1)*g
+			v[i] = b2*v[i] + (1-b2)*g*g
+			p.W[i] -= o.LR * (m[i] / c1) / (math.Sqrt(v[i]/c2) + eps)
+		}
+	}
+}
+
+func makeState(params []*Param) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = make([]float64, len(p.W))
+	}
+	return out
+}
+
+// ClipGradNorm rescales the accumulated gradients so their global L2 norm is
+// at most maxNorm, returning the pre-clip norm. maxNorm <= 0 disables
+// clipping.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.G {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / (norm + 1e-12)
+		for _, p := range params {
+			for i := range p.G {
+				p.G[i] *= scale
+			}
+		}
+	}
+	return norm
+}

@@ -1,0 +1,158 @@
+// Package policies implements the eight mitigation approaches compared in
+// §4.2 of the paper: Never-mitigate, Always-mitigate, SC20-RF with optimal
+// and perturbed thresholds, Myopic-RF, the RL agent, and the Oracle.
+// Every approach is expressed as a Decider invoked once per merged event
+// tick with the node, time and Table 1 feature vector.
+package policies
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/rf"
+	"repro/internal/rl"
+)
+
+// Context is the information available to a policy at a decision point.
+type Context struct {
+	// Node is the node id of the tick.
+	Node int
+	// Time is the tick time.
+	Time time.Time
+	// Features is the Table 1 feature vector (including potential UE cost).
+	Features features.Vector
+}
+
+// Decider decides, per event tick, whether to trigger a mitigation.
+type Decider interface {
+	// Name identifies the approach in reports.
+	Name() string
+	// Decide returns true to mitigate at this tick.
+	Decide(ctx Context) bool
+}
+
+// Never never mitigates: maximum UE cost, zero mitigation cost.
+type Never struct{}
+
+// Name implements Decider.
+func (Never) Name() string { return "Never-mitigate" }
+
+// Decide implements Decider.
+func (Never) Decide(Context) bool { return false }
+
+// Always mitigates on every event in the error log: minimum UE cost among
+// event-triggered policies, maximum mitigation cost.
+type Always struct{}
+
+// Name implements Decider.
+func (Always) Name() string { return "Always-mitigate" }
+
+// Decide implements Decider.
+func (Always) Decide(Context) bool { return true }
+
+// RFThreshold is the SC20-RF policy: mitigate when the random-forest score
+// exceeds an externally supplied threshold.
+type RFThreshold struct {
+	Forest    *rf.Forest
+	Threshold float64
+	// Label distinguishes optimal from perturbed variants in reports.
+	Label string
+}
+
+// Name implements Decider.
+func (p *RFThreshold) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "SC20-RF"
+}
+
+// Decide implements Decider.
+func (p *RFThreshold) Decide(ctx Context) bool {
+	return p.Forest.PredictProb(ctx.Features.Predictor()) > p.Threshold
+}
+
+// MyopicRF extends SC20-RF with cost-awareness (§4.2): mitigate when the
+// expected UE cost — RF score times current potential UE cost — exceeds
+// the mitigation cost. As the paper shows, the RF score is not a reliable
+// probability, which is exactly why this seemingly reasonable policy
+// underperforms.
+type MyopicRF struct {
+	Forest *rf.Forest
+	// MitigationCostNodeHours is the per-action cost.
+	MitigationCostNodeHours float64
+}
+
+// Name implements Decider.
+func (*MyopicRF) Name() string { return "Myopic-RF" }
+
+// Decide implements Decider.
+func (p *MyopicRF) Decide(ctx Context) bool {
+	prob := p.Forest.PredictProb(ctx.Features.Predictor())
+	return prob*ctx.Features[features.UECost] > p.MitigationCostNodeHours
+}
+
+// RL wraps a trained (frozen) agent policy.
+type RL struct {
+	Policy rl.Policy
+	// Label optionally overrides the report name.
+	Label string
+}
+
+// Name implements Decider.
+func (p *RL) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "RL"
+}
+
+// Decide implements Decider.
+func (p *RL) Decide(ctx Context) bool {
+	return p.Policy.Action(ctx.Features.Normalized()) == 1
+}
+
+// OracleKey identifies a decision point.
+type OracleKey struct {
+	Node int
+	Time time.Time
+}
+
+// Oracle mitigates exactly on the last event before each UE (§4.2): the
+// minimum number of mitigations that catches every catchable UE. It is
+// built from the evaluation log with future knowledge and is not a
+// realizable policy.
+type Oracle struct {
+	points map[OracleKey]bool
+}
+
+// NewOracle builds an Oracle from the set of (node, time) decision points
+// that immediately precede a UE.
+func NewOracle(points map[OracleKey]bool) *Oracle {
+	return &Oracle{points: points}
+}
+
+// Name implements Decider.
+func (*Oracle) Name() string { return "Oracle" }
+
+// Decide implements Decider.
+func (o *Oracle) Decide(ctx Context) bool {
+	return o.points[OracleKey{Node: ctx.Node, Time: ctx.Time}]
+}
+
+// Len reports the number of oracle mitigation points.
+func (o *Oracle) Len() int { return len(o.points) }
+
+// FixedProb is a trivial decider mitigating when a fixed feature exceeds a
+// bound; used in tests and examples as a stand-in policy.
+type FixedProb struct {
+	Feature int
+	Bound   float64
+}
+
+// Name implements Decider.
+func (p *FixedProb) Name() string { return fmt.Sprintf("Fixed[%d>%g]", p.Feature, p.Bound) }
+
+// Decide implements Decider.
+func (p *FixedProb) Decide(ctx Context) bool { return ctx.Features[p.Feature] > p.Bound }

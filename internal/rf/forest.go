@@ -1,0 +1,129 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// ForestConfig parameterizes random-forest training.
+type ForestConfig struct {
+	// Trees is the ensemble size (default 100).
+	Trees int
+	// MaxDepth bounds each tree (0 = unlimited).
+	MaxDepth int
+	// MinLeaf is the per-leaf minimum sample count (default 1).
+	MinLeaf int
+	// MTry is the per-split feature subsample; 0 selects sqrt(d).
+	MTry int
+	// UnderSampleRatio is the negatives-per-positive ratio after random
+	// under-sampling of the majority class (SC'20's treatment of class
+	// imbalance). 0 selects 1 (balanced).
+	UnderSampleRatio float64
+	// Seed drives bootstrap and feature sampling.
+	Seed int64
+}
+
+// DefaultForestConfig returns the configuration used by the SC20-RF
+// baseline in this repository.
+func DefaultForestConfig() ForestConfig {
+	return ForestConfig{
+		Trees:            100,
+		MaxDepth:         12,
+		MinLeaf:          1,
+		UnderSampleRatio: 1,
+		Seed:             1,
+	}
+}
+
+// Forest is a bagged ensemble of CART trees.
+type Forest struct {
+	trees []*Tree
+}
+
+// TrainForest fits a random forest on X with binary labels y. Each tree is
+// trained on a bootstrap of the positive class plus an under-sampled
+// bootstrap of the negative class.
+func TrainForest(x [][]float64, y []bool, cfg ForestConfig) *Forest {
+	if len(x) == 0 || len(x) != len(y) {
+		panic(fmt.Sprintf("rf: bad training set (%d samples, %d labels)", len(x), len(y)))
+	}
+	if cfg.Trees <= 0 {
+		cfg.Trees = 100
+	}
+	if cfg.UnderSampleRatio <= 0 {
+		cfg.UnderSampleRatio = 1
+	}
+	d := len(x[0])
+	mtry := cfg.MTry
+	if mtry <= 0 {
+		mtry = int(math.Sqrt(float64(d)))
+		if mtry < 1 {
+			mtry = 1
+		}
+	}
+	var pos, neg []int
+	for i, lbl := range y {
+		if lbl {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+	f := &Forest{trees: make([]*Tree, cfg.Trees)}
+	for t := 0; t < cfg.Trees; t++ {
+		trng := rng.Fork()
+		var xi [][]float64
+		var yi []bool
+		switch {
+		case len(pos) == 0 || len(neg) == 0:
+			// Degenerate single-class data: bootstrap everything.
+			for k := 0; k < len(x); k++ {
+				i := trng.Intn(len(x))
+				xi = append(xi, x[i])
+				yi = append(yi, y[i])
+			}
+		default:
+			nPos := len(pos)
+			nNeg := int(float64(nPos)*cfg.UnderSampleRatio + 0.5)
+			if nNeg < 1 {
+				nNeg = 1
+			}
+			if nNeg > len(neg) {
+				nNeg = len(neg)
+			}
+			for k := 0; k < nPos; k++ {
+				xi = append(xi, x[pos[trng.Intn(len(pos))]])
+				yi = append(yi, true)
+			}
+			for k := 0; k < nNeg; k++ {
+				xi = append(xi, x[neg[trng.Intn(len(neg))]])
+				yi = append(yi, false)
+			}
+		}
+		f.trees[t] = TrainTree(xi, yi, TreeConfig{
+			MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, MTry: mtry,
+		}, trng)
+	}
+	return f
+}
+
+// PredictProb returns the mean positive-class probability across trees —
+// "a value from 0 to 1 that represents the probability of an uncorrected
+// error" (§4.2). As the paper observes for Myopic-RF, it is a score, not a
+// calibrated probability.
+func (f *Forest) PredictProb(x []float64) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range f.trees {
+		sum += t.PredictProb(x)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }

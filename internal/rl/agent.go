@@ -1,0 +1,304 @@
+package rl
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/nn"
+)
+
+// Environment is the MDP the agent interacts with (§3.2). An environment is
+// episodic: Reset starts a new episode and returns the initial state; Step
+// applies an action and returns the successor state, the reward, and
+// whether the episode has terminated.
+type Environment interface {
+	Reset() []float64
+	Step(action int) (next []float64, reward float64, done bool)
+	// NumActions reports the size of the discrete action set.
+	NumActions() int
+	// StateLen reports the state vector dimension.
+	StateLen() int
+}
+
+// Policy maps a state to an action. Both the trained agent and the paper's
+// baseline approaches satisfy it.
+type Policy interface {
+	Action(state []float64) int
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc func(state []float64) int
+
+// Action implements Policy.
+func (f PolicyFunc) Action(state []float64) int { return f(state) }
+
+// EpsilonSchedule is a linearly decaying exploration schedule: the
+// exploration rate starts at Start and decays to End over DecaySteps agent
+// steps.
+type EpsilonSchedule struct {
+	Start      float64
+	End        float64
+	DecaySteps int
+}
+
+// At returns epsilon after the given number of steps.
+func (e EpsilonSchedule) At(step int) float64 {
+	if e.DecaySteps <= 0 || step >= e.DecaySteps {
+		return e.End
+	}
+	frac := float64(step) / float64(e.DecaySteps)
+	return e.Start + (e.End-e.Start)*frac
+}
+
+// AgentConfig collects the hyperparameters tuned during the paper's random
+// search (§4.1): learning rate, discount factor gamma, the two networks'
+// update and synchronization frequencies, and the PER batch size.
+type AgentConfig struct {
+	// StateLen and NumActions describe the MDP interface.
+	StateLen   int
+	NumActions int
+	// Hidden is the MLP body; the paper uses {256, 256, 128, 64}.
+	Hidden []int
+	// Dueling enables the dueling value/advantage head (on in the paper).
+	Dueling bool
+	// DoubleDQN selects actions with the online network and evaluates them
+	// with the target network (on in the paper).
+	DoubleDQN bool
+	// Gamma is the MDP discount factor.
+	Gamma float64
+	// LearningRate for the Adam optimizer.
+	LearningRate float64
+	// BatchSize is the replay mini-batch size.
+	BatchSize int
+	// TrainEvery trains once per this many environment steps.
+	TrainEvery int
+	// SyncEvery hard-syncs the target network once per this many
+	// environment steps.
+	SyncEvery int
+	// WarmupSteps delays training until the buffer has this many
+	// transitions.
+	WarmupSteps int
+	// Epsilon is the exploration schedule.
+	Epsilon EpsilonSchedule
+	// HuberDelta is the TD-error Huber transition point; 0 means 1.
+	HuberDelta float64
+	// GradClip caps the global gradient norm; 0 disables.
+	GradClip float64
+	// Seed drives weight init and exploration.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c AgentConfig) Validate() error {
+	if c.StateLen <= 0 {
+		return fmt.Errorf("rl: StateLen must be positive, got %d", c.StateLen)
+	}
+	if c.NumActions < 2 {
+		return fmt.Errorf("rl: NumActions must be at least 2, got %d", c.NumActions)
+	}
+	if c.Gamma < 0 || c.Gamma > 1 {
+		return fmt.Errorf("rl: Gamma must be in [0,1], got %v", c.Gamma)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("rl: BatchSize must be positive, got %d", c.BatchSize)
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("rl: LearningRate must be positive, got %v", c.LearningRate)
+	}
+	return nil
+}
+
+// withDefaults fills optional fields.
+func (c AgentConfig) withDefaults() AgentConfig {
+	if c.TrainEvery <= 0 {
+		c.TrainEvery = 1
+	}
+	if c.SyncEvery <= 0 {
+		c.SyncEvery = 500
+	}
+	if c.HuberDelta <= 0 {
+		c.HuberDelta = 1
+	}
+	if c.WarmupSteps < c.BatchSize {
+		c.WarmupSteps = c.BatchSize
+	}
+	return c
+}
+
+// Agent is a dueling double deep Q-network agent with (optionally
+// prioritized) experience replay — the paper's learner (§3.3).
+type Agent struct {
+	cfg     AgentConfig
+	online  *nn.Network
+	target  *nn.Network
+	opt     *nn.Adam
+	replay  Replay
+	rng     *mathx.RNG
+	steps   int
+	scr     *nn.Scratch // online-net scratch
+	scrTgt  *nn.Scratch // target-net scratch
+	scrNext *nn.Scratch // second online scratch for double-DQN selection
+	dOut    []float64
+}
+
+// NewAgent builds an agent with the given replay buffer (pass
+// NewPrioritizedReplay for the paper's configuration, NewUniformReplay for
+// the ablation).
+func NewAgent(cfg AgentConfig, replay Replay) *Agent {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg = cfg.withDefaults()
+	net := nn.New(nn.Config{
+		Inputs:  cfg.StateLen,
+		Hidden:  cfg.Hidden,
+		Outputs: cfg.NumActions,
+		Dueling: cfg.Dueling,
+		Seed:    cfg.Seed,
+	})
+	a := &Agent{
+		cfg:    cfg,
+		online: net,
+		target: net.Clone(),
+		opt:    &nn.Adam{LR: cfg.LearningRate},
+		replay: replay,
+		rng:    mathx.NewRNG(cfg.Seed + 1),
+	}
+	a.scr = a.online.NewScratch()
+	a.scrNext = a.online.NewScratch()
+	a.scrTgt = a.target.NewScratch()
+	a.dOut = make([]float64, cfg.NumActions)
+	return a
+}
+
+// Config returns the agent's configuration (with defaults applied).
+func (a *Agent) Config() AgentConfig { return a.cfg }
+
+// Online exposes the online network (for serialization and inspection).
+func (a *Agent) Online() *nn.Network { return a.online }
+
+// SetOnline replaces the online network and re-syncs the target. The
+// network's architecture must match the agent configuration. Used to warm-
+// start an agent from a previously trained model (§4.1: each split trains a
+// mix of previously trained and untrained models).
+func (a *Agent) SetOnline(net *nn.Network) {
+	c := net.Config()
+	if c.Inputs != a.cfg.StateLen || c.Outputs != a.cfg.NumActions {
+		panic("rl: SetOnline architecture mismatch")
+	}
+	a.online = net
+	a.target = net.Clone()
+	a.opt = &nn.Adam{LR: a.cfg.LearningRate}
+	a.scr = a.online.NewScratch()
+	a.scrNext = a.online.NewScratch()
+	a.scrTgt = a.target.NewScratch()
+}
+
+// Steps reports the number of environment steps observed.
+func (a *Agent) Steps() int { return a.steps }
+
+// Epsilon returns the current exploration rate.
+func (a *Agent) Epsilon() float64 { return a.cfg.Epsilon.At(a.steps) }
+
+// Act selects an ε-greedy action for state.
+func (a *Agent) Act(state []float64) int {
+	if a.rng.Float64() < a.Epsilon() {
+		return a.rng.Intn(a.cfg.NumActions)
+	}
+	return a.Greedy(state)
+}
+
+// Greedy returns argmax_a Q(state, a) under the online network.
+func (a *Agent) Greedy(state []float64) int {
+	q := a.online.ForwardInto(a.scr, state)
+	return mathx.ArgMax(q)
+}
+
+// QValues returns a copy of the online network's Q-values for state.
+func (a *Agent) QValues(state []float64) []float64 {
+	q := a.online.ForwardInto(a.scr, state)
+	out := make([]float64, len(q))
+	copy(out, q)
+	return out
+}
+
+// Observe records a transition and performs training/synchronization
+// according to the configured frequencies. It returns the training loss if a
+// training step ran, else NaN-free zero and false.
+func (a *Agent) Observe(tr Transition) (loss float64, trained bool) {
+	a.replay.Add(tr)
+	a.steps++
+	if a.steps%a.cfg.SyncEvery == 0 {
+		a.target.CopyFrom(a.online)
+	}
+	if a.replay.Len() < a.cfg.WarmupSteps || a.steps%a.cfg.TrainEvery != 0 {
+		return 0, false
+	}
+	return a.trainBatch(), true
+}
+
+// trainBatch samples a mini-batch and takes one optimization step,
+// returning the mean loss. TD targets follow double DQN when configured:
+// y = r + gamma * Q_target(s', argmax_a Q_online(s', a)).
+func (a *Agent) trainBatch() float64 {
+	trs, handles, ws := a.replay.Sample(a.rng, a.cfg.BatchSize)
+	if len(trs) == 0 {
+		return 0
+	}
+	a.online.ZeroGrad()
+	totalLoss := 0.0
+	tdErrs := make([]float64, len(trs))
+	for i, tr := range trs {
+		target := tr.R
+		if !tr.Done {
+			var next float64
+			if a.cfg.DoubleDQN {
+				qNext := a.online.ForwardInto(a.scrNext, tr.NextS)
+				best := mathx.ArgMax(qNext)
+				qTgt := a.target.ForwardInto(a.scrTgt, tr.NextS)
+				next = qTgt[best]
+			} else {
+				qTgt := a.target.ForwardInto(a.scrTgt, tr.NextS)
+				next = qTgt[mathx.ArgMax(qTgt)]
+			}
+			target += a.cfg.Gamma * next
+		}
+		q := a.online.ForwardInto(a.scr, tr.S)
+		pred := q[tr.A]
+		loss, dPred := nn.HuberLoss(pred, target, a.cfg.HuberDelta)
+		tdErrs[i] = pred - target
+		w := ws[i] / float64(len(trs))
+		totalLoss += loss * ws[i]
+		for j := range a.dOut {
+			a.dOut[j] = 0
+		}
+		a.dOut[tr.A] = dPred * w
+		a.online.Backward(a.scr, a.dOut)
+	}
+	nn.ClipGradNorm(a.online.Params(), a.cfg.GradClip)
+	a.opt.Step(a.online.Params())
+	a.replay.UpdatePriorities(handles, tdErrs)
+	return totalLoss / float64(len(trs))
+}
+
+// GreedyPolicy returns the deterministic policy induced by the current
+// online network. The returned policy shares the network but uses its own
+// scratch, so it is safe to use after further training only if the caller
+// accepts updated weights; Snapshot the network first for a frozen policy.
+func (a *Agent) GreedyPolicy() Policy {
+	net := a.online
+	scr := net.NewScratch()
+	return PolicyFunc(func(state []float64) int {
+		return mathx.ArgMax(net.ForwardInto(scr, state))
+	})
+}
+
+// SnapshotPolicy returns a frozen greedy policy over a deep copy of the
+// current online network.
+func (a *Agent) SnapshotPolicy() Policy {
+	net := a.online.Clone()
+	scr := net.NewScratch()
+	return PolicyFunc(func(state []float64) int {
+		return mathx.ArgMax(net.ForwardInto(scr, state))
+	})
+}

@@ -1,0 +1,94 @@
+// Package rl implements the reinforcement-learning machinery of the paper:
+// MDP interfaces, experience replay (uniform and prioritized, Schaul et al.
+// 2015), ε-greedy exploration schedules, and a dueling double deep
+// Q-network agent (Mnih et al. 2013; van Hasselt et al. 2016; Wang et al.
+// 2016) built on the nn package.
+package rl
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+)
+
+// Transition is one step of experience: acting in state S with action A
+// yielded reward R and next state NextS; Done marks terminal transitions
+// (no bootstrapping from NextS).
+type Transition struct {
+	S     []float64
+	A     int
+	R     float64
+	NextS []float64
+	Done  bool
+}
+
+// Replay abstracts an experience buffer so the agent can run with either
+// uniform sampling or prioritized sampling (the paper's configuration, and
+// the ablation in BenchmarkAblationPER).
+type Replay interface {
+	// Add stores a transition.
+	Add(tr Transition)
+	// Len reports how many transitions are stored.
+	Len() int
+	// Sample draws n transitions. It returns the transitions, their buffer
+	// handles (for UpdatePriorities), and importance-sampling weights
+	// normalized to max 1.
+	Sample(rng *mathx.RNG, n int) ([]Transition, []int, []float64)
+	// UpdatePriorities sets new priorities (typically |TD error|) for the
+	// sampled handles. Uniform buffers ignore it.
+	UpdatePriorities(handles []int, priorities []float64)
+}
+
+// UniformReplay is a fixed-capacity ring buffer with uniform sampling.
+type UniformReplay struct {
+	buf  []Transition
+	next int
+	full bool
+}
+
+// NewUniformReplay creates a buffer holding at most capacity transitions.
+func NewUniformReplay(capacity int) *UniformReplay {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("rl: replay capacity must be positive, got %d", capacity))
+	}
+	return &UniformReplay{buf: make([]Transition, capacity)}
+}
+
+// Add implements Replay.
+func (u *UniformReplay) Add(tr Transition) {
+	u.buf[u.next] = tr
+	u.next++
+	if u.next == len(u.buf) {
+		u.next = 0
+		u.full = true
+	}
+}
+
+// Len implements Replay.
+func (u *UniformReplay) Len() int {
+	if u.full {
+		return len(u.buf)
+	}
+	return u.next
+}
+
+// Sample implements Replay. All importance weights are 1.
+func (u *UniformReplay) Sample(rng *mathx.RNG, n int) ([]Transition, []int, []float64) {
+	size := u.Len()
+	if size == 0 {
+		return nil, nil, nil
+	}
+	trs := make([]Transition, n)
+	handles := make([]int, n)
+	ws := make([]float64, n)
+	for i := 0; i < n; i++ {
+		idx := rng.Intn(size)
+		trs[i] = u.buf[idx]
+		handles[i] = idx
+		ws[i] = 1
+	}
+	return trs, handles, ws
+}
+
+// UpdatePriorities implements Replay (no-op for uniform sampling).
+func (u *UniformReplay) UpdatePriorities([]int, []float64) {}

@@ -1,0 +1,169 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func tr(r float64) Transition {
+	return Transition{S: []float64{r}, A: 0, R: r, NextS: []float64{r}, Done: true}
+}
+
+func TestUniformReplayRing(t *testing.T) {
+	u := NewUniformReplay(3)
+	if u.Len() != 0 {
+		t.Fatal("new buffer should be empty")
+	}
+	for i := 0; i < 5; i++ {
+		u.Add(tr(float64(i)))
+	}
+	if u.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (capacity)", u.Len())
+	}
+	// Oldest entries (0, 1) evicted; survivors are 2, 3, 4.
+	rng := mathx.NewRNG(1)
+	seen := map[float64]bool{}
+	for i := 0; i < 200; i++ {
+		trs, _, ws := u.Sample(rng, 1)
+		seen[trs[0].R] = true
+		if ws[0] != 1 {
+			t.Fatal("uniform weights must be 1")
+		}
+	}
+	for _, old := range []float64{0, 1} {
+		if seen[old] {
+			t.Fatalf("evicted transition %v sampled", old)
+		}
+	}
+	for _, cur := range []float64{2, 3, 4} {
+		if !seen[cur] {
+			t.Fatalf("live transition %v never sampled", cur)
+		}
+	}
+}
+
+func TestUniformReplayEmptySample(t *testing.T) {
+	u := NewUniformReplay(3)
+	trs, _, _ := u.Sample(mathx.NewRNG(1), 4)
+	if trs != nil {
+		t.Fatal("empty buffer should return nil")
+	}
+}
+
+func TestUniformReplayPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewUniformReplay(0)
+}
+
+func TestPERNewTransitionsGetMaxPriority(t *testing.T) {
+	p := NewPrioritizedReplay(PERConfig{Capacity: 8, Alpha: 1, Beta: 1})
+	p.Add(tr(1))
+	// Mark the first transition as very important.
+	p.UpdatePriorities([]int{0}, []float64{99})
+	p.Add(tr(2))
+	// The new transition must carry the running max priority so it is not
+	// starved relative to the updated one.
+	if p.tree.get(1) < p.tree.get(0) {
+		t.Fatalf("new transition priority %v below max %v", p.tree.get(1), p.tree.get(0))
+	}
+}
+
+func TestPERPrioritySkewsSampling(t *testing.T) {
+	p := NewPrioritizedReplay(PERConfig{Capacity: 4, Alpha: 1, Beta: 0.4, Eps: 1e-6})
+	for i := 0; i < 4; i++ {
+		p.Add(tr(float64(i)))
+	}
+	// Give transition 3 a much higher TD error.
+	p.UpdatePriorities([]int{0, 1, 2, 3}, []float64{0.01, 0.01, 0.01, 10})
+	rng := mathx.NewRNG(2)
+	counts := map[float64]int{}
+	for i := 0; i < 2000; i++ {
+		trs, _, _ := p.Sample(rng, 2)
+		for _, x := range trs {
+			counts[x.R]++
+		}
+	}
+	if counts[3] < counts[0]*5 {
+		t.Fatalf("high-priority transition undersampled: %v", counts)
+	}
+}
+
+func TestPERImportanceWeightsNormalized(t *testing.T) {
+	p := NewPrioritizedReplay(PERConfig{Capacity: 8, Alpha: 0.6, Beta: 0.4})
+	for i := 0; i < 8; i++ {
+		p.Add(tr(float64(i)))
+	}
+	p.UpdatePriorities([]int{0, 1, 2, 3, 4, 5, 6, 7},
+		[]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	rng := mathx.NewRNG(3)
+	for i := 0; i < 50; i++ {
+		_, _, ws := p.Sample(rng, 4)
+		maxW := 0.0
+		for _, w := range ws {
+			if w <= 0 || w > 1+1e-9 {
+				t.Fatalf("weight %v outside (0,1]", w)
+			}
+			if w > maxW {
+				maxW = w
+			}
+		}
+		if math.Abs(maxW-1) > 1e-9 {
+			t.Fatalf("max weight %v, want 1", maxW)
+		}
+	}
+}
+
+func TestPERBetaAnneals(t *testing.T) {
+	p := NewPrioritizedReplay(PERConfig{Capacity: 4, Alpha: 1, Beta: 0.4, BetaSteps: 10})
+	for i := 0; i < 4; i++ {
+		p.Add(tr(float64(i)))
+	}
+	if got := p.beta(); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("initial beta %v", got)
+	}
+	rng := mathx.NewRNG(4)
+	for i := 0; i < 20; i++ {
+		p.Sample(rng, 2)
+	}
+	if got := p.beta(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("annealed beta %v, want 1", got)
+	}
+}
+
+func TestPERHandlesOutOfRangeUpdate(t *testing.T) {
+	p := NewPrioritizedReplay(PERConfig{Capacity: 4})
+	p.Add(tr(1))
+	// Must not panic.
+	p.UpdatePriorities([]int{-1, 100}, []float64{1, 1})
+}
+
+func TestPERSampleEmpty(t *testing.T) {
+	p := NewPrioritizedReplay(PERConfig{Capacity: 4})
+	trs, _, _ := p.Sample(mathx.NewRNG(1), 2)
+	if trs != nil {
+		t.Fatal("empty PER should return nil")
+	}
+}
+
+func TestPERWrapAroundOverwrites(t *testing.T) {
+	p := NewPrioritizedReplay(PERConfig{Capacity: 2})
+	p.Add(tr(1))
+	p.Add(tr(2))
+	p.Add(tr(3)) // overwrites slot 0
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+	rng := mathx.NewRNG(5)
+	for i := 0; i < 100; i++ {
+		trs, _, _ := p.Sample(rng, 1)
+		if trs[0].R == 1 {
+			t.Fatal("overwritten transition sampled")
+		}
+	}
+}

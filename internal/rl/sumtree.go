@@ -1,0 +1,54 @@
+package rl
+
+// sumTree is a complete binary tree over priorities supporting O(log n)
+// updates and proportional sampling, the standard data structure behind
+// prioritized experience replay. Leaves hold priorities; internal nodes hold
+// subtree sums.
+type sumTree struct {
+	capacity int
+	nodes    []float64 // 1-based heap layout; leaves at [capacity, 2*capacity)
+}
+
+func newSumTree(capacity int) *sumTree {
+	// Round capacity up to a power of two so leaf indices are uniform.
+	c := 1
+	for c < capacity {
+		c *= 2
+	}
+	return &sumTree{capacity: c, nodes: make([]float64, 2*c)}
+}
+
+// set assigns priority p to leaf i and propagates the change upward.
+func (t *sumTree) set(i int, p float64) {
+	if p < 0 {
+		p = 0
+	}
+	idx := t.capacity + i
+	delta := p - t.nodes[idx]
+	for idx >= 1 {
+		t.nodes[idx] += delta
+		idx /= 2
+	}
+}
+
+// get returns leaf i's priority.
+func (t *sumTree) get(i int) float64 { return t.nodes[t.capacity+i] }
+
+// total returns the sum of all priorities.
+func (t *sumTree) total() float64 { return t.nodes[1] }
+
+// find returns the leaf index whose cumulative prefix-sum interval contains
+// mass, for mass in [0, total()).
+func (t *sumTree) find(mass float64) int {
+	idx := 1
+	for idx < t.capacity {
+		left := 2 * idx
+		if mass < t.nodes[left] {
+			idx = left
+		} else {
+			mass -= t.nodes[left]
+			idx = left + 1
+		}
+	}
+	return idx - t.capacity
+}

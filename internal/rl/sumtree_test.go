@@ -1,0 +1,72 @@
+package rl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestSumTreeBasics(t *testing.T) {
+	st := newSumTree(5) // rounds up to 8 leaves
+	if st.capacity != 8 {
+		t.Fatalf("capacity = %d, want 8", st.capacity)
+	}
+	st.set(0, 1)
+	st.set(1, 2)
+	st.set(4, 3)
+	if got := st.total(); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("total = %v, want 6", got)
+	}
+	if st.get(1) != 2 {
+		t.Fatalf("get(1) = %v", st.get(1))
+	}
+	// Update propagates.
+	st.set(1, 5)
+	if got := st.total(); math.Abs(got-9) > 1e-12 {
+		t.Fatalf("total after update = %v, want 9", got)
+	}
+	// Negative priorities clamp to zero.
+	st.set(0, -3)
+	if st.get(0) != 0 {
+		t.Fatalf("negative priority not clamped: %v", st.get(0))
+	}
+}
+
+func TestSumTreeFind(t *testing.T) {
+	st := newSumTree(4)
+	st.set(0, 1)
+	st.set(1, 0)
+	st.set(2, 2)
+	st.set(3, 1)
+	cases := []struct {
+		mass float64
+		want int
+	}{
+		{0, 0}, {0.99, 0}, {1.0, 2}, {2.9, 2}, {3.0, 3}, {3.99, 3},
+	}
+	for _, c := range cases {
+		if got := st.find(c.mass); got != c.want {
+			t.Errorf("find(%v) = %d, want %d", c.mass, got, c.want)
+		}
+	}
+}
+
+func TestSumTreeProportionalSampling(t *testing.T) {
+	st := newSumTree(3)
+	st.set(0, 1)
+	st.set(1, 3)
+	st.set(2, 6)
+	rng := mathx.NewRNG(1)
+	counts := make([]int, 3)
+	n := 60000
+	for i := 0; i < n; i++ {
+		counts[st.find(rng.Float64()*st.total())]++
+	}
+	for i, want := range []float64{0.1, 0.3, 0.6} {
+		got := float64(counts[i]) / float64(n)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("leaf %d sampled %v, want ~%v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package rl
+
+// TrainResult summarizes a training run.
+type TrainResult struct {
+	Episodes     int
+	Steps        int
+	TotalReward  float64
+	MeanEpReward float64
+	// EpisodeRewards holds the undiscounted reward of each episode in
+	// order, for convergence inspection.
+	EpisodeRewards []float64
+}
+
+// TrainOptions controls Train.
+type TrainOptions struct {
+	// Episodes is the number of episodes to run.
+	Episodes int
+	// MaxStepsPerEpisode caps runaway episodes; 0 means unlimited.
+	MaxStepsPerEpisode int
+	// OnEpisode, if non-nil, is invoked after each episode with its index
+	// and undiscounted reward.
+	OnEpisode func(episode int, reward float64)
+}
+
+// Train runs the agent in env for the requested number of episodes,
+// performing ε-greedy exploration and learning via the agent's replay
+// buffer. Training is the paper's §3.3.3 loop: each episode replays one
+// node's event history against a randomly sampled job sequence.
+func Train(agent *Agent, env Environment, opts TrainOptions) TrainResult {
+	res := TrainResult{}
+	for ep := 0; ep < opts.Episodes; ep++ {
+		state := env.Reset()
+		epReward := 0.0
+		for step := 0; ; step++ {
+			if opts.MaxStepsPerEpisode > 0 && step >= opts.MaxStepsPerEpisode {
+				break
+			}
+			action := agent.Act(state)
+			next, reward, done := env.Step(action)
+			agent.Observe(Transition{S: state, A: action, R: reward, NextS: next, Done: done})
+			epReward += reward
+			res.Steps++
+			if done {
+				break
+			}
+			state = next
+		}
+		res.Episodes++
+		res.TotalReward += epReward
+		res.EpisodeRewards = append(res.EpisodeRewards, epReward)
+		if opts.OnEpisode != nil {
+			opts.OnEpisode(ep, epReward)
+		}
+	}
+	if res.Episodes > 0 {
+		res.MeanEpReward = res.TotalReward / float64(res.Episodes)
+	}
+	return res
+}

@@ -1,0 +1,256 @@
+// Package uerl is a from-scratch Go implementation of "Reinforcement
+// Learning-based Adaptive Mitigation of Uncorrected DRAM Errors in the
+// Field" (Boixaderas et al., HPDC 2024): a dueling double deep Q-network
+// with prioritized experience replay that decides, event by event, whether
+// to trigger an uncorrected-error mitigation action (checkpoint, live
+// migration, node clone) based on the node's error history and the running
+// job's potential loss.
+//
+// The package offers two entry points:
+//
+//   - The research harness: NewSystem builds a synthetic MareNostrum-style
+//     world (error log + job trace) and Evaluate reproduces the paper's
+//     cost–benefit comparison of Never/Always/SC20-RF/Myopic-RF/RL/Oracle
+//     under time-series nested cross-validation.
+//
+//   - The deployment-style API: TrainAgent fits an agent, and a Controller
+//     consumes a live stream of node telemetry events and recommends
+//     mitigations, the way a production daemon would use the model.
+//
+// Everything underneath (neural networks, RL, the telemetry and job
+// simulators, the random-forest baseline, the evaluation pipeline) is
+// implemented in this repository's internal packages using only the Go
+// standard library.
+package uerl
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/errlog"
+	"repro/internal/evalx"
+	"repro/internal/experiments"
+	"repro/internal/jobs"
+	"repro/internal/telemetry"
+)
+
+// Budget selects the compute budget of training and evaluation protocols.
+type Budget int
+
+const (
+	// BudgetCI runs in seconds (tiny population, fixed hyperparameters).
+	BudgetCI Budget = iota
+	// BudgetDefault runs in minutes (reduced population, small search).
+	BudgetDefault
+	// BudgetPaper reproduces the full §4.1 protocol (hours to days).
+	BudgetPaper
+)
+
+func (b Budget) preset() evalx.Preset {
+	switch b {
+	case BudgetPaper:
+		return evalx.PresetPaper
+	case BudgetDefault:
+		return evalx.PresetDefault
+	default:
+		return evalx.PresetCI
+	}
+}
+
+// Config parameterizes a synthetic world and the evaluation protocol. The
+// zero value is not usable; start from DefaultConfig.
+type Config struct {
+	// Seed makes the whole pipeline reproducible.
+	Seed int64
+	// Scale multiplies the MareNostrum 3 population (1 = 3056 nodes,
+	// ~25k DIMMs). The Budget's default is used when 0.
+	Scale float64
+	// Jobs is the synthetic MN4 trace length (0 = Budget default).
+	Jobs int
+	// JobSizeScale is the §5.6 job-size scaling factor (default 1).
+	JobSizeScale float64
+	// MitigationCostNodeMinutes is the per-action mitigation cost
+	// (default 2, the paper's main configuration).
+	MitigationCostNodeMinutes float64
+	// Restartable selects whether mitigation establishes a restart point
+	// (checkpoint-like); the paper's second and last user parameter.
+	Restartable bool
+	// Budget selects protocol scale.
+	Budget Budget
+}
+
+// DefaultConfig returns the paper's configuration at the given budget.
+func DefaultConfig(b Budget) Config {
+	return Config{
+		Seed:                      1,
+		JobSizeScale:              1,
+		MitigationCostNodeMinutes: 2,
+		Restartable:               true,
+		Budget:                    b,
+	}
+}
+
+// System is a generated world plus its evaluation configuration.
+type System struct {
+	cfg   Config
+	world *experiments.World
+}
+
+// NewSystem generates the synthetic world for cfg.
+func NewSystem(cfg Config) *System {
+	scale := experiments.ScaleFor(cfg.Budget.preset())
+	scale.Seed = cfg.Seed
+	if cfg.Scale > 0 {
+		scale.TelemetryScale = cfg.Scale
+	}
+	if cfg.Jobs > 0 {
+		scale.JobCount = cfg.Jobs
+	}
+	w := experiments.BuildWorld(scale)
+	if cfg.JobSizeScale > 0 && cfg.JobSizeScale != 1 {
+		w.JCfg = w.JCfg.WithScale(cfg.JobSizeScale)
+		w.Trace = jobs.Generate(w.JCfg)
+	}
+	if cfg.MitigationCostNodeMinutes == 0 {
+		cfg.MitigationCostNodeMinutes = 2
+	}
+	return &System{cfg: cfg, world: w}
+}
+
+// World exposes the underlying experiment world for advanced use.
+func (s *System) World() *experiments.World { return s.world }
+
+// LogStats summarizes the synthetic error log against the paper's §2.1
+// aggregate counts.
+func (s *System) LogStats() telemetry.Stats {
+	return telemetry.Summarize(s.world.Log)
+}
+
+// PolicyCost is one approach's outcome in the cost–benefit analysis.
+type PolicyCost struct {
+	Policy         string
+	TotalNodeHours float64
+	UENodeHours    float64
+	MitigationNH   float64
+	Mitigations    int
+	Recall         float64
+	Precision      float64
+}
+
+// Report is the §5.1 cost–benefit comparison.
+type Report struct {
+	Costs []PolicyCost
+	cv    evalx.CVResult
+}
+
+// Find returns the row for the named policy.
+func (r Report) Find(name string) (PolicyCost, bool) {
+	for _, c := range r.Costs {
+		if c.Policy == name {
+			return c, true
+		}
+	}
+	return PolicyCost{}, false
+}
+
+// Render writes the report as an aligned table.
+func (r Report) Render(w io.Writer) {
+	fmt.Fprintln(w, "Cost-benefit analysis (node-hours, summed over cross-validation splits)")
+	for _, c := range r.Costs {
+		fmt.Fprintf(w, "  %-16s total=%9.1f  ue=%9.1f  mitigation=%8.1f  mitigations=%6d  recall=%3.0f%%\n",
+			c.Policy, c.TotalNodeHours, c.UENodeHours, c.MitigationNH, c.Mitigations, 100*c.Recall)
+	}
+}
+
+func reportFrom(cv evalx.CVResult) Report {
+	rep := Report{cv: cv}
+	for _, t := range cv.Totals {
+		rep.Costs = append(rep.Costs, PolicyCost{
+			Policy:         t.Policy,
+			TotalNodeHours: t.TotalCost(),
+			UENodeHours:    t.UECost,
+			MitigationNH:   t.MitigationCost + t.TrainingCost,
+			Mitigations:    t.Metrics.Mitigations,
+			Recall:         t.Metrics.Recall(),
+			Precision:      t.Metrics.Precision(),
+		})
+	}
+	return rep
+}
+
+func (s *System) cvConfig() evalx.CVConfig {
+	cfg := evalx.DefaultCVConfig(s.cfg.Budget.preset())
+	cfg.Parts = s.world.Scale.Parts
+	cfg.Seed = s.cfg.Seed
+	cfg.Env.MitigationCostNodeMinutes = s.cfg.MitigationCostNodeMinutes
+	cfg.Env.Restartable = s.cfg.Restartable
+	return cfg
+}
+
+// Evaluate runs the paper's full evaluation (§4.1 protocol, §4.2 policies)
+// on this system and returns the cost–benefit report.
+func (s *System) Evaluate() Report {
+	return reportFrom(evalx.RunCV(s.world.Log, s.world.Trace, s.cvConfig()))
+}
+
+// EvaluateManufacturer evaluates only the nodes of one anonymized DRAM
+// manufacturer ("A", "B" or "C"), the §4.5 per-manufacturer protocol.
+func (s *System) EvaluateManufacturer(name string) (Report, error) {
+	var m errlog.Manufacturer
+	switch name {
+	case "A":
+		m = errlog.ManufacturerA
+	case "B":
+		m = errlog.ManufacturerB
+	case "C":
+		m = errlog.ManufacturerC
+	default:
+		return Report{}, fmt.Errorf("uerl: unknown manufacturer %q (want A, B or C)", name)
+	}
+	part := s.world.Log.PartitionManufacturer(m)
+	if len(part.Events) == 0 {
+		return Report{}, fmt.Errorf("uerl: manufacturer %s has no events", name)
+	}
+	return reportFrom(evalx.RunCV(part, s.world.Trace, s.cvConfig())), nil
+}
+
+// EvaluateJobScale re-evaluates with job sizes scaled by factor, training a
+// fresh model for the scaled system (§5.6).
+func (s *System) EvaluateJobScale(factor float64) (Report, error) {
+	if factor <= 0 {
+		return Report{}, fmt.Errorf("uerl: job scale factor must be positive, got %v", factor)
+	}
+	trace := jobs.Generate(s.world.JCfg.WithScale(factor))
+	return reportFrom(evalx.RunCV(s.world.Log, trace, s.cvConfig())), nil
+}
+
+// ExperimentNames lists the runnable paper experiments.
+func ExperimentNames() []string {
+	return []string{"calibration", "fig3", "fig4", "fig5", "fig6", "table2", "fig7", "ablation"}
+}
+
+// RunExperiment regenerates one paper figure/table (see ExperimentNames)
+// and renders it to w.
+func (s *System) RunExperiment(name string, w io.Writer) error {
+	switch name {
+	case "calibration":
+		experiments.RunCalibration(s.world).Render(w)
+	case "fig3":
+		experiments.RunFig3(s.world).Render(w)
+	case "fig4":
+		experiments.RunFig4(s.world).Render(w)
+	case "fig5":
+		experiments.RunFig5(s.world).Render(w)
+	case "fig6":
+		experiments.RunFig6(s.world).Render(w)
+	case "table2":
+		experiments.RunTable2(s.world).Render(w)
+	case "fig7":
+		experiments.RunFig7(s.world, nil).Render(w)
+	case "ablation":
+		experiments.RunAblation(s.world).Render(w)
+	default:
+		return fmt.Errorf("uerl: unknown experiment %q (want one of %v)", name, ExperimentNames())
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package uerl
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	sysOnce sync.Once
+	sys     *System
+)
+
+func testSystem(t *testing.T) *System {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("system integration tests in short mode")
+	}
+	sysOnce.Do(func() { sys = NewSystem(DefaultConfig(BudgetCI)) })
+	return sys
+}
+
+func TestNewSystemAndStats(t *testing.T) {
+	s := testSystem(t)
+	st := s.LogStats()
+	if st.FirstUEs == 0 || st.TotalCEs == 0 || st.Nodes == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+}
+
+func TestEvaluateReport(t *testing.T) {
+	s := testSystem(t)
+	rep := s.Evaluate()
+	if len(rep.Costs) < 6 {
+		t.Fatalf("report has %d policies", len(rep.Costs))
+	}
+	never, ok := rep.Find("Never-mitigate")
+	if !ok {
+		t.Fatal("missing Never-mitigate")
+	}
+	oracle, ok := rep.Find("Oracle")
+	if !ok {
+		t.Fatal("missing Oracle")
+	}
+	if oracle.TotalNodeHours > never.TotalNodeHours {
+		t.Fatalf("Oracle %v worse than Never %v", oracle.TotalNodeHours, never.TotalNodeHours)
+	}
+	var sb strings.Builder
+	rep.Render(&sb)
+	if !strings.Contains(sb.String(), "Oracle") {
+		t.Fatal("render missing rows")
+	}
+	if _, ok := rep.Find("nonexistent"); ok {
+		t.Fatal("Find returned a bogus policy")
+	}
+}
+
+func TestEvaluateManufacturer(t *testing.T) {
+	s := testSystem(t)
+	rep, err := s.EvaluateManufacturer("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Costs) == 0 {
+		t.Fatal("empty manufacturer report")
+	}
+	if _, err := s.EvaluateManufacturer("Z"); err == nil {
+		t.Fatal("bad manufacturer accepted")
+	}
+}
+
+func TestEvaluateJobScale(t *testing.T) {
+	s := testSystem(t)
+	small, err := s.EvaluateJobScale(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := s.EvaluateJobScale(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, _ := small.Find("Never-mitigate")
+	nb, _ := big.Find("Never-mitigate")
+	if nb.TotalNodeHours <= ns.TotalNodeHours {
+		t.Fatalf("job scaling had no effect: %v vs %v", ns.TotalNodeHours, nb.TotalNodeHours)
+	}
+	if _, err := s.EvaluateJobScale(0); err == nil {
+		t.Fatal("zero factor accepted")
+	}
+}
+
+func TestRunExperimentNames(t *testing.T) {
+	s := testSystem(t)
+	if err := s.RunExperiment("nope", &strings.Builder{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	// Run the cheapest experiment end to end through the public API.
+	var sb strings.Builder
+	if err := s.RunExperiment("calibration", &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "calibration") {
+		t.Fatalf("unexpected output: %q", sb.String())
+	}
+	if len(ExperimentNames()) != 8 {
+		t.Fatalf("experiments = %v", ExperimentNames())
+	}
+}
+
+func TestTrainAgentAndController(t *testing.T) {
+	s := testSystem(t)
+	agent := s.TrainAgent()
+	ctl := NewController(agent)
+
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	// Feed a healthy node and a degrading node.
+	ctl.ObserveEvent(Event{Time: base, Node: 1, Type: NodeBoot, DIMM: -1, Rank: -1, Bank: -1, Row: -1, Col: -1})
+	for i := 0; i < 50; i++ {
+		ctl.ObserveEvent(Event{
+			Time: base.Add(time.Duration(i) * time.Minute),
+			Node: 2, DIMM: 16, Type: CorrectedError, Count: 200,
+			Rank: 0, Bank: 1, Row: 100 + i, Col: 7,
+		})
+	}
+	ctl.ObserveEvent(Event{Time: base.Add(time.Hour), Node: 2, DIMM: 16, Type: UEWarning,
+		Rank: -1, Bank: -1, Row: -1, Col: -1})
+
+	// Recommendations must be callable for both nodes and for an unseen
+	// node without panicking; decisions themselves depend on training.
+	_ = ctl.Recommend(1, base.Add(2*time.Hour), 10)
+	_ = ctl.Recommend(2, base.Add(2*time.Hour), 5000)
+	_ = ctl.Recommend(99, base, 1)
+	ctl.Forget(2)
+	_ = ctl.Recommend(2, base.Add(3*time.Hour), 1)
+}
+
+func TestAgentSerializationRoundTrip(t *testing.T) {
+	s := testSystem(t)
+	agent := s.TrainAgent()
+	data, err := json.Marshal(agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Agent
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	// Both must produce identical recommendations.
+	ctlA := NewController(agent)
+	ctlB := NewController(&restored)
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 20; i++ {
+		cost := float64(i) * 500
+		at := base.Add(time.Duration(i) * time.Hour)
+		if ctlA.Recommend(1, at, cost) != ctlB.Recommend(1, at, cost) {
+			t.Fatalf("restored agent disagrees at cost %v", cost)
+		}
+	}
+}
+
+func TestUnmarshalRejectsWrongDims(t *testing.T) {
+	var a Agent
+	bad := `{"config":{"Inputs":3,"Outputs":2},"params":[[0,0,0,0,0,0],[0,0]]}`
+	if err := json.Unmarshal([]byte(bad), &a); err == nil {
+		t.Fatal("wrong-dimension model accepted")
+	}
+}
+
+func TestBudgetMapping(t *testing.T) {
+	cfgs := []Config{DefaultConfig(BudgetCI), DefaultConfig(BudgetDefault), DefaultConfig(BudgetPaper)}
+	for _, c := range cfgs {
+		if c.MitigationCostNodeMinutes != 2 || !c.Restartable {
+			t.Fatal("default config wrong")
+		}
+	}
+}
