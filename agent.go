@@ -1,0 +1,63 @@
+package uerl
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/features"
+	"repro/internal/nn"
+)
+
+// Agent is a trained mitigation agent — the pre-redesign serving handle,
+// kept as a thin wrapper for existing callers. New code should use
+// System.TrainPolicy(PolicyRL), which returns a Policy that plugs directly
+// into NewController, SaveModel and EvaluatePolicy; Agent.Policy bridges
+// an existing Agent into that world.
+type Agent struct {
+	net *nn.Network
+}
+
+// TrainAgent trains an agent on the system's synthetic history using the
+// paper's protocol (training on the first 75% of the log). The budget in
+// the system's configuration controls the episode and search budget. The
+// fit is shared with TrainPolicy, so mixing the two APIs never trains
+// twice.
+func (s *System) TrainAgent() *Agent {
+	split := s.trainedSplit()
+	a := &Agent{}
+	if split.Agent != nil {
+		a.net = split.Agent.Online().Clone()
+	}
+	return a
+}
+
+// Policy converts the agent to the serving Policy interface.
+func (a *Agent) Policy() (Policy, error) {
+	if a.net == nil {
+		return nil, fmt.Errorf("uerl: agent has no network to serve")
+	}
+	return newRLPolicy(a.net, nil)
+}
+
+// MarshalJSON serializes the agent's network. Prefer SaveModel, which
+// wraps the same payload in a versioned header.
+func (a *Agent) MarshalJSON() ([]byte, error) {
+	if a.net == nil {
+		return nil, fmt.Errorf("uerl: agent has no serializable network")
+	}
+	return json.Marshal(a.net)
+}
+
+// UnmarshalJSON restores an agent serialized with MarshalJSON.
+func (a *Agent) UnmarshalJSON(data []byte) error {
+	var net nn.Network
+	if err := json.Unmarshal(data, &net); err != nil {
+		return err
+	}
+	if net.Config().Inputs != features.Dim {
+		return fmt.Errorf("uerl: model expects %d inputs, this build uses %d",
+			net.Config().Inputs, features.Dim)
+	}
+	a.net = &net
+	return nil
+}

@@ -10,6 +10,7 @@
 package uerl
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -240,6 +241,117 @@ type noopDecider struct{}
 
 func (noopDecider) Name() string                 { return "noop" }
 func (noopDecider) Decide(policies.Context) bool { return false }
+
+// ---- Serving-path benchmarks (the controller hot paths) ----
+
+// servingPolicy builds an RL serving policy over the paper's 256-256-128-64
+// architecture — untrained weights, identical inference cost to a trained
+// model.
+func servingPolicy(b *testing.B) Policy {
+	b.Helper()
+	net := nn.New(nn.Config{Inputs: features.Dim, Hidden: []int{256, 256, 128, 64},
+		Outputs: 2, Dueling: true, Seed: 1})
+	p, err := newRLPolicy(net, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// benchEvents synthesizes an event stream round-robined across nodes with
+// non-decreasing per-node timestamps.
+func benchEvents(n, nodes int, base time.Time) []Event {
+	evs := make([]Event, n)
+	for i := range evs {
+		evs[i] = Event{
+			Time: base.Add(time.Duration(i) * time.Second),
+			Node: i % nodes, DIMM: 8, Type: CorrectedError, Count: 3,
+			Rank: i % 2, Bank: i % 8, Row: 100 + i%50, Col: i % 16,
+		}
+	}
+	return evs
+}
+
+// BenchmarkControllerObserveEvent measures single-event ingestion: shard
+// lookup, lock, tracker update.
+func BenchmarkControllerObserveEvent(b *testing.B) {
+	ctl := NewController(AlwaysPolicy(), WithShards(8))
+	base := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	ev := Event{Node: 1, DIMM: 8, Type: CorrectedError, Count: 3, Rank: 0, Bank: 1, Row: 100, Col: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Time = base.Add(time.Duration(i) * time.Second)
+		ev.Node = i & 1023
+		ctl.ObserveEvent(ev)
+	}
+}
+
+// BenchmarkControllerObserveBatch measures batched ingestion of 1024
+// events across 256 nodes (one shard lock per shard per batch instead of
+// one per event); ns/op is per event.
+func BenchmarkControllerObserveBatch(b *testing.B) {
+	ctl := NewController(AlwaysPolicy(), WithShards(8))
+	base := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	batch := benchEvents(1024, 256, base)
+	span := batch[len(batch)-1].Time.Sub(batch[0].Time) + time.Second
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctl.ObserveBatch(ctx, batch); err != nil {
+			b.Fatal(err)
+		}
+		// Keep per-node timestamps advancing across iterations so the
+		// steady state, not an ever-growing unsorted history, is measured.
+		for j := range batch {
+			batch[j].Time = batch[j].Time.Add(span)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(batch)), "ns/event")
+}
+
+// BenchmarkControllerRecommendParallel measures side-effect-free query
+// throughput with goroutines hammering one controller across shards, the
+// fleet-polling hot path (Q-network forward included).
+func BenchmarkControllerRecommendParallel(b *testing.B) {
+	ctl := NewController(servingPolicy(b), WithShards(8))
+	base := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := ctl.ObserveBatch(context.Background(), benchEvents(4096, 256, base)); err != nil {
+		b.Fatal(err)
+	}
+	at := base.Add(2 * time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		node := 0
+		for pb.Next() {
+			node++
+			d := ctl.Recommend(node&255, at, float64(node&8191))
+			if d.Node != node&255 {
+				// Fatal is not allowed off the benchmark goroutine.
+				b.Error("wrong node answered")
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkControllerRecommendSerial is the single-caller baseline for the
+// parallel bench above.
+func BenchmarkControllerRecommendSerial(b *testing.B) {
+	ctl := NewController(servingPolicy(b), WithShards(8))
+	base := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := ctl.ObserveBatch(context.Background(), benchEvents(4096, 256, base)); err != nil {
+		b.Fatal(err)
+	}
+	at := base.Add(2 * time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl.Recommend(i&255, at, float64(i&8191))
+	}
+}
 
 // BenchmarkTelemetryFullScale generates the full 3056-node two-year log,
 // the paper's actual population.

@@ -1,11 +1,12 @@
 // Command uerleval runs the paper's cost–benefit evaluation (time-series
 // nested cross-validation over all §4.2 policies) on a synthetic world and
-// prints the node–hour totals.
+// prints the node–hour totals. With -model it instead scores one saved
+// model artifact (see uerltrain) on the held-out tail of the log.
 //
 // Usage:
 //
 //	uerleval [-budget ci|default|paper] [-seed 1] [-mitcost 2]
-//	         [-manufacturer A|B|C] [-jobscale 1]
+//	         [-manufacturer A|B|C] [-jobscale 1] [-model model.json]
 package main
 
 import (
@@ -22,18 +23,28 @@ func main() {
 	mitcost := flag.Float64("mitcost", 2, "mitigation cost in node-minutes")
 	manufacturer := flag.String("manufacturer", "", "evaluate one DRAM manufacturer partition (A, B or C)")
 	jobscale := flag.Float64("jobscale", 1, "job size scaling factor (§5.6)")
+	model := flag.String("model", "", "score a saved model artifact instead of running the full CV")
 	flag.Parse()
 
-	b, err := parseBudget(*budget)
+	b, err := uerl.ParseBudget(*budget)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := uerl.DefaultConfig(b)
-	cfg.Seed = *seed
-	cfg.MitigationCostNodeMinutes = *mitcost
+	if *model != "" && (*manufacturer != "" || *jobscale != 1) {
+		fatal(fmt.Errorf("-model cannot be combined with -manufacturer or -jobscale"))
+	}
 
 	fmt.Println("generating synthetic world...")
-	sys := uerl.NewSystem(cfg)
+	sys := uerl.NewSystem(
+		uerl.WithBudget(b),
+		uerl.WithSeed(*seed),
+		uerl.WithMitigationCost(*mitcost),
+	)
+
+	if *model != "" {
+		evalModel(sys, *model)
+		return
+	}
 
 	var rep uerl.Report
 	switch {
@@ -57,16 +68,32 @@ func main() {
 	}
 }
 
-func parseBudget(s string) (uerl.Budget, error) {
-	switch s {
-	case "ci":
-		return uerl.BudgetCI, nil
-	case "default":
-		return uerl.BudgetDefault, nil
-	case "paper":
-		return uerl.BudgetPaper, nil
+// evalModel scores one saved artifact against the Never baseline on the
+// held-out tail of the world's log.
+func evalModel(sys *uerl.System, path string) {
+	policy, err := uerl.LoadModelFile(path)
+	if err != nil {
+		fatal(err)
 	}
-	return 0, fmt.Errorf("unknown budget %q", s)
+	fmt.Printf("loaded %s: kind=%s version=%s\n", path, policy.Kind(), policy.Version())
+
+	cost, err := sys.EvaluatePolicy(policy)
+	if err != nil {
+		fatal(err)
+	}
+	baseline, err := sys.EvaluatePolicy(uerl.NeverPolicy())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("held-out tail (last 25%% of the log span):\n")
+	for _, c := range []uerl.PolicyCost{baseline, cost} {
+		fmt.Printf("  %-16s total=%9.1f  ue=%9.1f  mitigation=%8.1f  mitigations=%6d  recall=%3.0f%%\n",
+			c.Policy, c.TotalNodeHours, c.UENodeHours, c.MitigationNH, c.Mitigations, 100*c.Recall)
+	}
+	if baseline.TotalNodeHours > 0 {
+		fmt.Printf("\n%s reduces lost compute time by %.0f%% vs no mitigation\n",
+			cost.Policy, 100*(1-cost.TotalNodeHours/baseline.TotalNodeHours))
+	}
 }
 
 func fatal(err error) {

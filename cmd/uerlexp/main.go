@@ -23,12 +23,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	b, err := parseBudget(*budget)
+	b, err := uerl.ParseBudget(*budget)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := uerl.DefaultConfig(b)
-	cfg.Seed = *seed
 
 	names := flag.Args()
 	if len(names) == 0 {
@@ -36,7 +34,7 @@ func main() {
 	}
 
 	fmt.Println("generating synthetic world...")
-	sys := uerl.NewSystem(cfg)
+	sys := uerl.NewSystem(uerl.WithBudget(b), uerl.WithSeed(*seed))
 
 	for _, name := range names {
 		fmt.Printf("\n=== %s ===\n", name)
@@ -46,18 +44,6 @@ func main() {
 		}
 		fmt.Printf("(%s in %v)\n", name, time.Since(start).Round(time.Millisecond))
 	}
-}
-
-func parseBudget(s string) (uerl.Budget, error) {
-	switch s {
-	case "ci":
-		return uerl.BudgetCI, nil
-	case "default":
-		return uerl.BudgetDefault, nil
-	case "paper":
-		return uerl.BudgetPaper, nil
-	}
-	return 0, fmt.Errorf("unknown budget %q", s)
 }
 
 func fatal(err error) {

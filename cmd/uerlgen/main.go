@@ -23,12 +23,25 @@ func main() {
 	out := flag.String("out", "", "write the raw error log as CSV to this file")
 	jobsOut := flag.String("jobs", "", "write a job trace summary to this file")
 	jobCount := flag.Int("jobcount", 20000, "number of jobs in the trace")
+	manufacturer := flag.String("manufacturer", "", "restrict the CSV export to one DRAM manufacturer (A, B or C)")
 	flag.Parse()
+
+	filter := errlog.Manufacturer(-1)
+	if *manufacturer != "" {
+		m, err := parseManufacturer(*manufacturer)
+		if err != nil {
+			fatal(err)
+		}
+		filter = m
+	}
 
 	cfg := telemetry.Default().Scale(*scale)
 	cfg.Seed = *seed
 	log := telemetry.Generate(cfg)
 	stats := telemetry.Summarize(log)
+	if filter >= 0 {
+		log = log.PartitionManufacturer(filter)
+	}
 
 	fmt.Printf("generated %d events on %d nodes over %v\n",
 		stats.Events, stats.Nodes, cfg.Duration)
@@ -75,6 +88,18 @@ func main() {
 		fmt.Printf("wrote %s: %d jobs, mean %.1f nodes, max %.0f node-hours\n",
 			*jobsOut, st.Count, st.MeanNodes, st.MaxNodeHours)
 	}
+}
+
+func parseManufacturer(s string) (errlog.Manufacturer, error) {
+	switch s {
+	case "A":
+		return errlog.ManufacturerA, nil
+	case "B":
+		return errlog.ManufacturerB, nil
+	case "C":
+		return errlog.ManufacturerC, nil
+	}
+	return 0, fmt.Errorf("unknown manufacturer %q (want A, B or C)", s)
 }
 
 func fatal(err error) {

@@ -1,13 +1,14 @@
-// Command uerltrain trains the RL mitigation agent on a synthetic world
-// and saves the model as JSON for later use by uerleval or a Controller.
+// Command uerltrain trains a mitigation policy on a synthetic world and
+// saves it as a versioned model artifact for later use by uerleval or a
+// serving Controller.
 //
-// Usage:
+// Any serializable §4.2 policy kind can be fitted and persisted, not just
+// the RL agent:
 //
-//	uerltrain [-budget ci|default|paper] [-seed 1] -out model.json
+//	uerltrain [-budget ci|default|paper] [-seed 1] [-policy rl] -out model.json
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,44 +19,41 @@ import (
 func main() {
 	budget := flag.String("budget", "ci", "compute budget: ci, default or paper")
 	seed := flag.Int64("seed", 1, "random seed")
-	out := flag.String("out", "model.json", "model output path")
+	kind := flag.String("policy", "rl", "policy kind: never, always, sc20-rf, myopic-rf or rl")
+	out := flag.String("out", "model.json", "model artifact output path")
 	flag.Parse()
 
-	b, err := parseBudget(*budget)
+	b, err := uerl.ParseBudget(*budget)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := uerl.DefaultConfig(b)
-	cfg.Seed = *seed
+	k, err := uerl.ParsePolicyKind(*kind)
+	if err != nil {
+		fatal(err)
+	}
+	if k == uerl.PolicyOracle {
+		fatal(fmt.Errorf("the oracle needs future knowledge and cannot be saved as a model artifact"))
+	}
 
 	fmt.Println("generating synthetic world...")
-	sys := uerl.NewSystem(cfg)
+	sys := uerl.NewSystem(uerl.WithBudget(b), uerl.WithSeed(*seed))
 	st := sys.LogStats()
 	fmt.Printf("log: %d events, %d first UEs, %d nodes\n", st.Events, st.FirstUEs, st.Nodes)
 
-	fmt.Println("training agent (paper protocol: first 75% of the log)...")
-	agent := sys.TrainAgent()
-
-	data, err := json.MarshalIndent(agent, "", " ")
+	fmt.Printf("training %s policy (paper protocol: first 75%% of the log)...\n", k)
+	policy, err := sys.TrainPolicy(k)
 	if err != nil {
 		fatal(err)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+
+	if err := uerl.SaveModelFile(*out, policy); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d bytes)\n", *out, len(data))
-}
-
-func parseBudget(s string) (uerl.Budget, error) {
-	switch s {
-	case "ci":
-		return uerl.BudgetCI, nil
-	case "default":
-		return uerl.BudgetDefault, nil
-	case "paper":
-		return uerl.BudgetPaper, nil
+	info, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
 	}
-	return 0, fmt.Errorf("unknown budget %q", s)
+	fmt.Printf("wrote %s (%d bytes, version %s)\n", *out, info.Size(), policy.Version())
 }
 
 func fatal(err error) {

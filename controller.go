@@ -1,15 +1,12 @@
 package uerl
 
 import (
-	"encoding/json"
-	"fmt"
+	"context"
+	"sync"
 	"time"
 
 	"repro/internal/errlog"
-	"repro/internal/evalx"
 	"repro/internal/features"
-	"repro/internal/nn"
-	"repro/internal/rl"
 )
 
 // EventType classifies a telemetry event fed to a Controller.
@@ -37,86 +34,8 @@ type Event struct {
 	Rank, Bank, Row, Col int
 }
 
-// Agent is a trained mitigation agent plus the evaluation artifacts
-// produced alongside it.
-type Agent struct {
-	policy rl.Policy
-	net    *nn.Network
-}
-
-// TrainAgent trains an agent on the system's synthetic history using the
-// paper's protocol (training on the first 75% of the log). The budget in
-// the system's Config controls the episode and search budget.
-func (s *System) TrainAgent() *Agent {
-	split := evalx.TrainSingleSplit(s.world.Log, s.world.Trace, s.cvConfig(), 0.75)
-	a := &Agent{policy: split.Policy}
-	if split.Agent != nil {
-		a.net = split.Agent.Online().Clone()
-		pol := a.net
-		scr := pol.NewScratch()
-		a.policy = rl.PolicyFunc(func(state []float64) int {
-			q := pol.ForwardInto(scr, state)
-			if q[1] > q[0] {
-				return 1
-			}
-			return 0
-		})
-	}
-	return a
-}
-
-// MarshalJSON serializes the agent's network.
-func (a *Agent) MarshalJSON() ([]byte, error) {
-	if a.net == nil {
-		return nil, fmt.Errorf("uerl: agent has no serializable network")
-	}
-	return json.Marshal(a.net)
-}
-
-// UnmarshalJSON restores an agent serialized with MarshalJSON.
-func (a *Agent) UnmarshalJSON(data []byte) error {
-	var net nn.Network
-	if err := json.Unmarshal(data, &net); err != nil {
-		return err
-	}
-	if net.Config().Inputs != features.Dim {
-		return fmt.Errorf("uerl: model expects %d inputs, this build uses %d",
-			net.Config().Inputs, features.Dim)
-	}
-	a.net = &net
-	scr := net.NewScratch()
-	a.policy = rl.PolicyFunc(func(state []float64) int {
-		q := a.net.ForwardInto(scr, state)
-		if q[1] > q[0] {
-			return 1
-		}
-		return 0
-	})
-	return nil
-}
-
-// Controller consumes a live stream of node telemetry events and
-// recommends mitigations — the role of the monitoring-and-preprocessing
-// box of Fig. 1 combined with the trained agent. It is not safe for
-// concurrent use; wrap with a mutex if needed.
-type Controller struct {
-	agent    *Agent
-	trackers map[int]*features.Tracker
-}
-
-// NewController builds a controller around a trained agent.
-func NewController(agent *Agent) *Controller {
-	return &Controller{agent: agent, trackers: map[int]*features.Tracker{}}
-}
-
-// ObserveEvent ingests one telemetry event. Events must arrive in
-// non-decreasing time order per node.
-func (c *Controller) ObserveEvent(e Event) {
-	tr, ok := c.trackers[e.Node]
-	if !ok {
-		tr = features.NewTracker()
-		c.trackers[e.Node] = tr
-	}
+// toErrlog converts the public event to the internal log record.
+func (e Event) toErrlog() errlog.Event {
 	var ev errlog.Event
 	ev.Time = e.Time
 	ev.Node = e.Node
@@ -134,24 +53,187 @@ func (c *Controller) ObserveEvent(e Event) {
 	case NodeBoot:
 		ev.Type = errlog.Boot
 	}
-	tr.Observe(errlog.Tick{Time: e.Time, Node: e.Node, Events: []errlog.Event{ev}}, 0)
+	return ev
 }
 
-// Recommend reports whether the agent would trigger a mitigation on the
-// node right now, given the potential UE cost of Eq. 3 (running job's node
-// count × node–hours lost if a UE struck now). This is the only workload
-// input the model needs.
-func (c *Controller) Recommend(node int, now time.Time, potentialCostNodeHours float64) bool {
-	tr, ok := c.trackers[node]
+// ctlShard owns the feature trackers of one slice of the node space.
+type ctlShard struct {
+	mu       sync.RWMutex
+	trackers map[int]*features.Tracker
+}
+
+// Controller is the serving layer of Fig. 1: it consumes a live stream of
+// node telemetry events, maintains per-node Table 1 feature state, and
+// answers mitigation queries with full Decisions from a pluggable Policy.
+//
+// The controller is safe for concurrent use. Node state is partitioned
+// across shards (WithShards); events for different nodes proceed in
+// parallel, and Recommend takes only a read lock, so a fleet poller never
+// blocks ingestion. Events must arrive in non-decreasing time order per
+// node; different nodes are independent.
+type Controller struct {
+	policy Policy
+	now    func() time.Time
+	shards []*ctlShard
+	mask   uint64
+}
+
+// NewController builds a serving controller around a policy. Any Policy
+// works — the trained RL agent, a §4.2 baseline, a LoadModel artifact, or
+// a custom implementation (which must be safe for concurrent use).
+func NewController(policy Policy, opts ...ControllerOption) *Controller {
+	cfg := defaultControllerConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	n := ceilPow2(cfg.shards)
+	c := &Controller{
+		policy: policy,
+		now:    cfg.now,
+		shards: make([]*ctlShard, n),
+		mask:   uint64(n - 1),
+	}
+	for i := range c.shards {
+		c.shards[i] = &ctlShard{trackers: map[int]*features.Tracker{}}
+	}
+	return c
+}
+
+// Policy returns the serving policy.
+func (c *Controller) Policy() Policy { return c.policy }
+
+// ShardCount reports the number of tracker shards.
+func (c *Controller) ShardCount() int { return len(c.shards) }
+
+// shardIndex maps a node id to its shard (Fibonacci hashing, so dense
+// sequential node ids spread across shards instead of clustering).
+func (c *Controller) shardIndex(node int) uint64 {
+	return (uint64(node) * 0x9E3779B97F4A7C15 >> 32) & c.mask
+}
+
+// ObserveEvent ingests one telemetry event.
+func (c *Controller) ObserveEvent(e Event) {
+	sh := c.shards[c.shardIndex(e.Node)]
+	sh.mu.Lock()
+	sh.observe(e)
+	sh.mu.Unlock()
+}
+
+// observe applies one event to the shard; the caller holds the write lock.
+func (sh *ctlShard) observe(e Event) {
+	tr, ok := sh.trackers[e.Node]
 	if !ok {
 		tr = features.NewTracker()
-		c.trackers[node] = tr
+		sh.trackers[e.Node] = tr
 	}
-	v := tr.Observe(errlog.Tick{Time: now, Node: node}, potentialCostNodeHours)
-	return c.agent.policy.Action(v.Normalized()) == 1
+	tr.Observe(errlog.Tick{Time: e.Time, Node: e.Node, Events: []errlog.Event{e.toErrlog()}}, 0)
+}
+
+// ObserveBatch ingests a batch of telemetry events, taking each shard's
+// lock once instead of once per event. The relative order of events for
+// the same node is preserved. It returns the number of events ingested;
+// when ctx is cancelled mid-batch, ingestion stops at a shard boundary
+// and the context error is returned. A cancelled batch is partially
+// applied — events are not idempotent (re-observing double-counts CEs),
+// so treat unprocessed nodes as stale and rebuild them from the log
+// rather than re-sending the whole batch.
+func (c *Controller) ObserveBatch(ctx context.Context, events []Event) (int, error) {
+	if len(events) == 0 {
+		return 0, nil
+	}
+	buckets := make([][]Event, len(c.shards))
+	for _, e := range events {
+		i := c.shardIndex(e.Node)
+		buckets[i] = append(buckets[i], e)
+	}
+	ingested := 0
+	for i, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return ingested, err
+		}
+		sh := c.shards[i]
+		sh.mu.Lock()
+		for _, e := range bucket {
+			sh.observe(e)
+		}
+		sh.mu.Unlock()
+		ingested += len(bucket)
+	}
+	return ingested, nil
+}
+
+// peek reads a node's feature vector side-effect-free under the shard's
+// read lock; unknown nodes report the empty feature state.
+func (c *Controller) peek(node int, at time.Time, cost float64) features.Vector {
+	sh := c.shards[c.shardIndex(node)]
+	var v features.Vector
+	sh.mu.RLock()
+	if tr, ok := sh.trackers[node]; ok {
+		v = tr.Peek(at, cost)
+	} else {
+		v[features.UECost] = cost
+	}
+	sh.mu.RUnlock()
+	return v
+}
+
+// Recommend asks the policy whether to mitigate on the node at time at,
+// given the potential UE cost of Eq. 3 (running job's node count ×
+// node–hours lost if a UE struck now — the only workload input the model
+// needs). The query is side-effect-free: it reads the node's features
+// under a shared lock without recording anything, so polling a node any
+// number of times never changes its state. Unknown nodes answer from the
+// empty feature state. at should not precede the node's last observed
+// event — a lagging poller clock inflates the Eq. 2 variation features.
+func (c *Controller) Recommend(node int, at time.Time, potentialCostNodeHours float64) Decision {
+	v := c.peek(node, at, potentialCostNodeHours)
+	d := c.policy.Decide(Snapshot{Node: node, Time: at, Features: v[:]})
+	// Normalize bookkeeping so custom policies can leave it to us.
+	d.Node, d.Time = node, at
+	if d.Features == nil {
+		d.Features = v[:]
+	}
+	if d.Policy == "" {
+		d.Policy = c.policy.Name()
+	}
+	if d.ModelVersion == "" {
+		d.ModelVersion = c.policy.Version()
+	}
+	return d
+}
+
+// RecommendNow is Recommend at the controller clock's current time (see
+// WithNowFunc).
+func (c *Controller) RecommendNow(node int, potentialCostNodeHours float64) Decision {
+	return c.Recommend(node, c.now(), potentialCostNodeHours)
+}
+
+// Features returns the node's raw Table 1 feature vector as it would be
+// reported at time at with the given potential UE cost — the same
+// side-effect-free read Recommend uses, exposed for observability.
+func (c *Controller) Features(node int, at time.Time, potentialCostNodeHours float64) []float64 {
+	v := c.peek(node, at, potentialCostNodeHours)
+	return v[:]
 }
 
 // Forget drops a node's accumulated state (e.g. after DIMM replacement).
 func (c *Controller) Forget(node int) {
-	delete(c.trackers, node)
+	sh := c.shards[c.shardIndex(node)]
+	sh.mu.Lock()
+	delete(sh.trackers, node)
+	sh.mu.Unlock()
+}
+
+// NodeCount reports the number of nodes with tracked state.
+func (c *Controller) NodeCount() int {
+	total := 0
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+		total += len(sh.trackers)
+		sh.mu.RUnlock()
+	}
+	return total
 }

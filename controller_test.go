@@ -1,0 +1,212 @@
+package uerl
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/nn"
+)
+
+// testRLPolicy builds an untrained but fully wired RL serving policy
+// (training is irrelevant to the serving-path mechanics under test).
+func testRLPolicy(t testing.TB) Policy {
+	t.Helper()
+	net := nn.New(nn.Config{Inputs: features.Dim, Hidden: []int{16, 8}, Outputs: 2, Dueling: true, Seed: 3})
+	p, err := newRLPolicy(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// degradingEvents is a CE storm on one node, dense enough to give the
+// variation features non-trivial history.
+func degradingEvents(node int, base time.Time, n int) []Event {
+	evs := make([]Event, 0, n+2)
+	evs = append(evs, Event{Time: base, Node: node, Type: NodeBoot, DIMM: -1, Rank: -1, Bank: -1, Row: -1, Col: -1})
+	for i := 0; i < n; i++ {
+		evs = append(evs, Event{
+			Time: base.Add(time.Duration(i) * time.Minute),
+			Node: node, DIMM: 8, Type: CorrectedError, Count: 10 + i,
+			Rank: 0, Bank: 1, Row: 900 + i%5, Col: 12,
+		})
+	}
+	evs = append(evs, Event{Time: base.Add(time.Duration(n) * time.Minute), Node: node,
+		Type: UEWarning, DIMM: 8, Rank: -1, Bank: -1, Row: -1, Col: -1})
+	return evs
+}
+
+// TestRecommendSideEffectFree is the regression test for the old
+// Controller, whose Recommend called Tracker.Observe and therefore changed
+// a node's features every time it was polled. Two controllers fed the same
+// event stream must end in the same state even when one is polled heavily
+// between events.
+func TestRecommendSideEffectFree(t *testing.T) {
+	base := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	polled := NewController(AlwaysPolicy())
+	quiet := NewController(AlwaysPolicy())
+
+	for i, ev := range degradingEvents(5, base, 120) {
+		polled.ObserveEvent(ev)
+		quiet.ObserveEvent(ev)
+		// Poll between every pair of events, including at times that fall
+		// inside the Eq. 2 variation windows.
+		for j := 0; j < 3; j++ {
+			at := ev.Time.Add(time.Duration(j*13) * time.Second)
+			polled.Recommend(5, at, float64(i*j))
+		}
+	}
+
+	at := base.Add(3 * time.Hour)
+	got := polled.Features(5, at, 42)
+	want := quiet.Features(5, at, 42)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("feature %d diverged after polling: got %v want %v\n got=%v\nwant=%v",
+				i, got[i], want[i], got, want)
+		}
+	}
+
+	// Polling an unknown node must not allocate tracker state either.
+	polled.Recommend(999, at, 1)
+	if n, m := polled.NodeCount(), quiet.NodeCount(); n != m {
+		t.Fatalf("polling changed node count: %d vs %d", n, m)
+	}
+}
+
+func TestRecommendUnknownNode(t *testing.T) {
+	ctl := NewController(AlwaysPolicy())
+	at := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	d := ctl.Recommend(31, at, 17)
+	if !d.Mitigate() || d.Node != 31 || !d.Time.Equal(at) {
+		t.Fatalf("bad decision for unknown node: %+v", d)
+	}
+	if d.Features[features.UECost] != 17 {
+		t.Fatalf("cost feature = %v, want 17", d.Features[features.UECost])
+	}
+	for i := 0; i < features.UECost; i++ {
+		if d.Features[i] != 0 {
+			t.Fatalf("unknown node has non-empty feature %d = %v", i, d.Features[i])
+		}
+	}
+}
+
+func TestObserveBatch(t *testing.T) {
+	base := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	var batch []Event
+	for node := 0; node < 32; node++ {
+		batch = append(batch, degradingEvents(node, base, 10)...)
+	}
+
+	batched := NewController(AlwaysPolicy(), WithShards(4))
+	n, err := batched.ObserveBatch(context.Background(), batch)
+	if err != nil || n != len(batch) {
+		t.Fatalf("ObserveBatch = %d, %v; want %d, nil", n, err, len(batch))
+	}
+	if batched.NodeCount() != 32 {
+		t.Fatalf("tracked %d nodes, want 32", batched.NodeCount())
+	}
+
+	// Batch ingestion must land in the same state as one-by-one ingestion.
+	single := NewController(AlwaysPolicy(), WithShards(4))
+	for _, ev := range batch {
+		single.ObserveEvent(ev)
+	}
+	at := base.Add(time.Hour)
+	for node := 0; node < 32; node++ {
+		got := batched.Features(node, at, 1)
+		want := single.Features(node, at, 1)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("node %d feature %d: batch %v vs single %v", node, i, got[i], want[i])
+			}
+		}
+	}
+
+	if n, err := batched.ObserveBatch(context.Background(), nil); n != 0 || err != nil {
+		t.Fatalf("empty batch = %d, %v", n, err)
+	}
+}
+
+func TestObserveBatchCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctl := NewController(AlwaysPolicy())
+	base := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	n, err := ctl.ObserveBatch(ctx, degradingEvents(1, base, 10))
+	if err == nil {
+		t.Fatal("cancelled batch reported success")
+	}
+	if n != 0 {
+		t.Fatalf("cancelled batch ingested %d events before the first shard", n)
+	}
+}
+
+func TestWithShardsRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-1, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {8, 8}, {9, 16}, {1 << 20, maxShards},
+	} {
+		ctl := NewController(AlwaysPolicy(), WithShards(tc.in))
+		if got := ctl.ShardCount(); got != tc.want {
+			t.Fatalf("WithShards(%d) -> %d shards, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWithNowFunc(t *testing.T) {
+	at := time.Date(2030, 1, 2, 3, 4, 5, 0, time.UTC)
+	ctl := NewController(AlwaysPolicy(), WithNowFunc(func() time.Time { return at }))
+	if d := ctl.RecommendNow(1, 2); !d.Time.Equal(at) {
+		t.Fatalf("RecommendNow used %v, want %v", d.Time, at)
+	}
+}
+
+// TestControllerConcurrency hammers one controller from many goroutines —
+// mixed single/batch ingestion, recommendations and forgets across
+// overlapping nodes — and is meant to run under -race (as CI does).
+func TestControllerConcurrency(t *testing.T) {
+	ctl := NewController(testRLPolicy(t), WithShards(8))
+	base := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+
+	const workers = 8
+	const nodes = 32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < 200; i++ {
+				node := (w + i) % nodes
+				at := base.Add(time.Duration(i) * time.Minute)
+				switch i % 4 {
+				case 0:
+					ctl.ObserveEvent(Event{Time: at, Node: node, DIMM: 8,
+						Type: CorrectedError, Count: 5, Rank: 0, Bank: 1, Row: i, Col: 2})
+				case 1:
+					if _, err := ctl.ObserveBatch(ctx, degradingEvents(node, at, 5)); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					d := ctl.Recommend(node, at, float64(i))
+					if d.Node != node {
+						t.Errorf("decision for node %d answered node %d", node, d.Node)
+						return
+					}
+				case 3:
+					if i%40 == 3 {
+						ctl.Forget(node)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := ctl.NodeCount(); n == 0 || n > nodes {
+		t.Fatalf("tracked %d nodes, want 1..%d", n, nodes)
+	}
+}

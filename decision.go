@@ -1,0 +1,77 @@
+package uerl
+
+import (
+	"time"
+
+	"repro/internal/features"
+)
+
+// FeatureDim is the length of the Table 1 feature vector exchanged across
+// the serving API (raw, un-normalized, in the internal/features layout:
+// CE counts and spatial spread, UE warnings, boot state, the Eq. 2
+// variation ratios, and the Eq. 3 potential UE cost as the last element).
+const FeatureDim = features.Dim
+
+// Action is a mitigation decision.
+type Action int
+
+const (
+	// ActionNone leaves the node alone.
+	ActionNone Action = iota
+	// ActionMitigate triggers the configured mitigation (checkpoint, live
+	// migration or node clone — the agent is mitigation-method agnostic).
+	ActionMitigate
+)
+
+// String returns "none" or "mitigate".
+func (a Action) String() string {
+	if a == ActionMitigate {
+		return "mitigate"
+	}
+	return "none"
+}
+
+// Snapshot is the per-node state handed to a Policy at a decision point:
+// the node, the decision time, and the raw Table 1 feature vector
+// (FeatureDim long, potential UE cost included).
+type Snapshot struct {
+	Node     int
+	Time     time.Time
+	Features []float64
+}
+
+// vector converts the snapshot features back to the internal layout.
+func (s Snapshot) vector() features.Vector {
+	var v features.Vector
+	copy(v[:], s.Features)
+	return v
+}
+
+// Decision is a full serving answer: the action plus everything an
+// operator needs to audit it — the policy's confidence score, the raw
+// Q-values when the policy is a Q-network, the feature snapshot the
+// decision was made on, and the version of the model that made it.
+type Decision struct {
+	// Node and Time identify the decision point.
+	Node int
+	Time time.Time
+	// Action is the recommended action.
+	Action Action
+	// Score is a policy-specific confidence signal; larger means a
+	// stronger preference to mitigate, and zero crossing is the decision
+	// boundary (Q-value gap for RL, probability margin over the threshold
+	// for the forest policies, expected-cost margin for Myopic-RF).
+	Score float64
+	// QValues holds the Q-network outputs [Q(none), Q(mitigate)] when the
+	// serving policy is the RL agent; nil otherwise.
+	QValues []float64
+	// Features is the raw Table 1 feature snapshot the decision used.
+	Features []float64
+	// Policy is the serving policy's report name.
+	Policy string
+	// ModelVersion identifies the model artifact (see Policy.Version).
+	ModelVersion string
+}
+
+// Mitigate reports whether the decision is to mitigate.
+func (d Decision) Mitigate() bool { return d.Action == ActionMitigate }

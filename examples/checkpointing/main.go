@@ -15,6 +15,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	uerl "repro"
@@ -59,8 +60,12 @@ func degradationTrace(start time.Time) []uerl.Event {
 
 func main() {
 	fmt.Println("training agent on synthetic cluster history...")
-	sys := uerl.NewSystem(uerl.DefaultConfig(uerl.BudgetCI))
-	agent := sys.TrainAgent()
+	sys := uerl.NewSystem(uerl.WithBudgetCI())
+	policy, err := sys.TrainPolicy(uerl.PolicyRL)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkpointing:", err)
+		os.Exit(1)
+	}
 
 	start := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
 	ueTime := start.Add(ueAtHour * time.Hour)
@@ -68,7 +73,7 @@ func main() {
 
 	// Strategy 1: RL-driven checkpointing — consult the agent at every
 	// telemetry event with the current potential loss (Eq. 3).
-	ctl := uerl.NewController(agent)
+	ctl := uerl.NewController(policy)
 	lastCkpt := start
 	rlCheckpoints := 0
 	for _, ev := range trace {
@@ -77,7 +82,7 @@ func main() {
 		}
 		ctl.ObserveEvent(ev)
 		potential := float64(jobNodes) * ev.Time.Sub(lastCkpt).Hours()
-		if ctl.Recommend(1, ev.Time, potential) {
+		if ctl.Recommend(1, ev.Time, potential).Mitigate() {
 			lastCkpt = ev.Time
 			rlCheckpoints++
 		}

@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	sys := uerl.NewSystem(uerl.DefaultConfig(uerl.BudgetCI))
+	sys := uerl.NewSystem(uerl.WithBudgetCI())
 
 	factors := []float64{0.1, 0.3, 1, 3, 10}
 	fmt.Println("total cost (node-hours) vs job size scaling factor, 2 node-minute mitigation")

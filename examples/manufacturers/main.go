@@ -15,11 +15,9 @@ import (
 )
 
 func main() {
-	cfg := uerl.DefaultConfig(uerl.BudgetCI)
 	// A somewhat larger population so each manufacturer partition keeps a
 	// few uncorrected errors.
-	cfg.Scale = 0.08
-	sys := uerl.NewSystem(cfg)
+	sys := uerl.NewSystem(uerl.WithBudgetCI(), uerl.WithScale(0.08))
 
 	st := sys.LogStats()
 	fmt.Printf("whole system: %d first UEs (A=%d B=%d C=%d)\n\n", st.FirstUEs,

@@ -187,7 +187,38 @@ func (tr *Tracker) Observe(tick errlog.Tick, ueCost float64) Vector {
 	// Record the post-update snapshot, then compute variations against the
 	// closest snapshots at or before t-Δt.
 	tr.history = append(tr.history, snapshot{t: tick.Time, ces: tr.cesTotal, boots: tr.boots})
+	if len(tr.history)&(compactEvery-1) == 0 {
+		tr.CompactHistory(tick.Time)
+	}
 
+	v := tr.vectorAt(tick.Time, ceNow, ueCost)
+	tr.lastVector = v
+	return v
+}
+
+// compactEvery bounds tracker history growth: every compactEvery appended
+// snapshots, Observe drops those older than the longest variation window.
+// Must be a power of two.
+const compactEvery = 1024
+
+// Peek returns the feature vector the node would report at time now with
+// the supplied potential UE cost, WITHOUT mutating the tracker: no
+// snapshot is recorded and no counters move. It is the read-only query
+// path used by Controller.Recommend, so polling a node never changes its
+// features. now must not precede the last observed tick.
+func (tr *Tracker) Peek(now time.Time, ueCost float64) Vector {
+	v := tr.vectorAt(now, 0, ueCost)
+	if v[HoursSinceBoot] < 0 {
+		// A Peek earlier than the last boot (lagging poller clock) must
+		// not feed log1p a negative value downstream. Observe keeps the
+		// raw value so replayed training inputs stay bit-identical.
+		v[HoursSinceBoot] = 0
+	}
+	return v
+}
+
+// vectorAt assembles the feature vector for time t from current counters.
+func (tr *Tracker) vectorAt(t time.Time, ceNow, ueCost float64) Vector {
 	var v Vector
 	v[CEsSinceLastEvent] = ceNow
 	v[CEsTotal] = tr.cesTotal
@@ -197,18 +228,18 @@ func (tr *Tracker) Observe(tick errlog.Tick, ueCost float64) Vector {
 	v[ColsWithCEs] = float64(len(tr.cols))
 	v[DIMMsWithCEs] = float64(len(tr.dimms))
 	v[UEWarnings] = tr.warnings
-	if tr.hasBoot {
-		v[HoursSinceBoot] = tick.Time.Sub(tr.lastBoot).Hours()
-	} else {
-		v[HoursSinceBoot] = tick.Time.Sub(tr.start).Hours()
+	switch {
+	case tr.hasBoot:
+		v[HoursSinceBoot] = t.Sub(tr.lastBoot).Hours()
+	case tr.started:
+		v[HoursSinceBoot] = t.Sub(tr.start).Hours()
 	}
 	v[Boots] = tr.boots
-	v[CEVar1Min] = tr.variation(tick.Time, time.Minute, func(s snapshot) float64 { return s.ces }, tr.cesTotal)
-	v[CEVar1Hour] = tr.variation(tick.Time, time.Hour, func(s snapshot) float64 { return s.ces }, tr.cesTotal)
-	v[BootVar1Min] = tr.variation(tick.Time, time.Minute, func(s snapshot) float64 { return s.boots }, tr.boots)
-	v[BootVar1Hour] = tr.variation(tick.Time, time.Hour, func(s snapshot) float64 { return s.boots }, tr.boots)
+	v[CEVar1Min] = tr.variation(t, time.Minute, func(s snapshot) float64 { return s.ces }, tr.cesTotal)
+	v[CEVar1Hour] = tr.variation(t, time.Hour, func(s snapshot) float64 { return s.ces }, tr.cesTotal)
+	v[BootVar1Min] = tr.variation(t, time.Minute, func(s snapshot) float64 { return s.boots }, tr.boots)
+	v[BootVar1Hour] = tr.variation(t, time.Hour, func(s snapshot) float64 { return s.boots }, tr.boots)
 	v[UECost] = ueCost
-	tr.lastVector = v
 	return v
 }
 

@@ -32,6 +32,14 @@ type Decider interface {
 	Decide(ctx Context) bool
 }
 
+// Scorer is an optional Decider extension reporting a real-valued decision
+// score on a policy-specific scale: positive means mitigate, negative means
+// don't, and magnitude is the margin from the decision boundary. Serving
+// layers use it to surface confidence alongside the boolean decision.
+type Scorer interface {
+	Score(ctx Context) float64
+}
+
 // Never never mitigates: maximum UE cost, zero mitigation cost.
 type Never struct{}
 
@@ -73,6 +81,11 @@ func (p *RFThreshold) Decide(ctx Context) bool {
 	return p.Forest.PredictProb(ctx.Features.Predictor()) > p.Threshold
 }
 
+// Score implements Scorer: the RF probability margin over the threshold.
+func (p *RFThreshold) Score(ctx Context) float64 {
+	return p.Forest.PredictProb(ctx.Features.Predictor()) - p.Threshold
+}
+
 // MyopicRF extends SC20-RF with cost-awareness (§4.2): mitigate when the
 // expected UE cost — RF score times current potential UE cost — exceeds
 // the mitigation cost. As the paper shows, the RF score is not a reliable
@@ -91,6 +104,13 @@ func (*MyopicRF) Name() string { return "Myopic-RF" }
 func (p *MyopicRF) Decide(ctx Context) bool {
 	prob := p.Forest.PredictProb(ctx.Features.Predictor())
 	return prob*ctx.Features[features.UECost] > p.MitigationCostNodeHours
+}
+
+// Score implements Scorer: expected UE cost minus mitigation cost, in
+// node–hours.
+func (p *MyopicRF) Score(ctx Context) float64 {
+	prob := p.Forest.PredictProb(ctx.Features.Predictor())
+	return prob*ctx.Features[features.UECost] - p.MitigationCostNodeHours
 }
 
 // RL wraps a trained (frozen) agent policy.

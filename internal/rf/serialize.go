@@ -1,0 +1,81 @@
+package rf
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// nodeJSON is the serialized form of one flat tree node, with short keys to
+// keep large forests compact. Leaves have F == -1.
+type nodeJSON struct {
+	F int     `json:"f"`
+	T float64 `json:"t,omitempty"`
+	L int     `json:"l,omitempty"`
+	R int     `json:"r,omitempty"`
+	P float64 `json:"p,omitempty"`
+}
+
+// MarshalJSON serializes the tree's flat node array.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	out := make([]nodeJSON, len(t.nodes))
+	for i, n := range t.nodes {
+		out[i] = nodeJSON{F: n.feature, T: n.threshold, L: n.left, R: n.right, P: n.prob}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a tree serialized by MarshalJSON, validating that
+// child indices stay in range so a corrupt artifact cannot crash Predict.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var in []nodeJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if len(in) == 0 {
+		return fmt.Errorf("rf: serialized tree has no nodes")
+	}
+	nodes := make([]node, len(in))
+	for i, n := range in {
+		// TrainTree appends children after their parent, so child indices
+		// must be strictly increasing; enforcing that on load makes
+		// PredictProb terminate on any accepted artifact.
+		if n.F >= 0 && (n.L <= i || n.L >= len(in) || n.R <= i || n.R >= len(in)) {
+			return fmt.Errorf("rf: serialized tree node %d has out-of-range children", i)
+		}
+		nodes[i] = node{feature: n.F, threshold: n.T, left: n.L, right: n.R, prob: n.P}
+	}
+	t.nodes = nodes
+	return nil
+}
+
+// ValidateDim checks that no split reads a feature at or beyond dim, so a
+// restored forest cannot index past the feature vectors it will be served.
+func (f *Forest) ValidateDim(dim int) error {
+	for ti, t := range f.trees {
+		for ni, n := range t.nodes {
+			if n.feature >= dim {
+				return fmt.Errorf("rf: tree %d node %d splits on feature %d, want < %d",
+					ti, ni, n.feature, dim)
+			}
+		}
+	}
+	return nil
+}
+
+// MarshalJSON serializes the forest as an array of trees.
+func (f *Forest) MarshalJSON() ([]byte, error) {
+	return json.Marshal(f.trees)
+}
+
+// UnmarshalJSON restores a forest serialized by MarshalJSON.
+func (f *Forest) UnmarshalJSON(data []byte) error {
+	var trees []*Tree
+	if err := json.Unmarshal(data, &trees); err != nil {
+		return err
+	}
+	if len(trees) == 0 {
+		return fmt.Errorf("rf: serialized forest has no trees")
+	}
+	f.trees = trees
+	return nil
+}

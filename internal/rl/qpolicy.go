@@ -1,0 +1,46 @@
+package rl
+
+import (
+	"sync"
+
+	"repro/internal/mathx"
+	"repro/internal/nn"
+)
+
+// SharedQPolicy is a concurrency-safe greedy policy over a frozen network.
+// Unlike Agent.GreedyPolicy / SnapshotPolicy, whose closures own a single
+// scratch buffer and are therefore single-goroutine, SharedQPolicy pools
+// scratch space per call, so one instance can serve many goroutines (the
+// sharded controller's Recommend path). The network itself is only read.
+type SharedQPolicy struct {
+	net  *nn.Network
+	pool sync.Pool
+}
+
+// NewSharedQPolicy wraps a frozen network. The caller must not train the
+// network afterwards; Clone it first if the source keeps learning.
+func NewSharedQPolicy(net *nn.Network) *SharedQPolicy {
+	p := &SharedQPolicy{net: net}
+	p.pool.New = func() any { return net.NewScratch() }
+	return p
+}
+
+// Net exposes the wrapped network (for serialization and inspection).
+func (p *SharedQPolicy) Net() *nn.Network { return p.net }
+
+// QValues appends the Q-values for state to out and returns the extended
+// slice. Safe for concurrent use.
+func (p *SharedQPolicy) QValues(out, state []float64) []float64 {
+	scr := p.pool.Get().(*nn.Scratch)
+	out = append(out, p.net.ForwardInto(scr, state)...)
+	p.pool.Put(scr)
+	return out
+}
+
+// Action implements Policy: argmax_a Q(state, a). Safe for concurrent use.
+func (p *SharedQPolicy) Action(state []float64) int {
+	scr := p.pool.Get().(*nn.Scratch)
+	a := mathx.ArgMax(p.net.ForwardInto(scr, state))
+	p.pool.Put(scr)
+	return a
+}

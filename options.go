@@ -1,0 +1,111 @@
+package uerl
+
+import (
+	"runtime"
+	"time"
+)
+
+// SystemOption configures NewSystem. Options apply on top of the paper's
+// default configuration at BudgetCI (see DefaultConfig).
+type SystemOption func(*Config)
+
+// WithConfig replaces the whole configuration — the bridge from the old
+// Config-struct construction path. Options after it still apply.
+func WithConfig(cfg Config) SystemOption {
+	return func(c *Config) { *c = cfg }
+}
+
+// WithSeed sets the world/training seed.
+func WithSeed(seed int64) SystemOption {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithBudget selects the compute budget of training and evaluation.
+func WithBudget(b Budget) SystemOption {
+	return func(c *Config) { c.Budget = b }
+}
+
+// WithBudgetCI selects the seconds-scale CI budget.
+func WithBudgetCI() SystemOption { return WithBudget(BudgetCI) }
+
+// WithBudgetDefault selects the minutes-scale default budget.
+func WithBudgetDefault() SystemOption { return WithBudget(BudgetDefault) }
+
+// WithBudgetPaper selects the paper's full §4.1 protocol.
+func WithBudgetPaper() SystemOption { return WithBudget(BudgetPaper) }
+
+// WithScale multiplies the MareNostrum 3 population (1 = 3056 nodes).
+func WithScale(scale float64) SystemOption {
+	return func(c *Config) { c.Scale = scale }
+}
+
+// WithJobs sets the synthetic MN4 trace length.
+func WithJobs(n int) SystemOption {
+	return func(c *Config) { c.Jobs = n }
+}
+
+// WithJobSizeScale sets the §5.6 job-size scaling factor.
+func WithJobSizeScale(f float64) SystemOption {
+	return func(c *Config) { c.JobSizeScale = f }
+}
+
+// WithMitigationCost sets the per-action mitigation cost in node-minutes
+// (the paper's main configuration uses 2).
+func WithMitigationCost(nodeMinutes float64) SystemOption {
+	return func(c *Config) { c.MitigationCostNodeMinutes = nodeMinutes }
+}
+
+// WithRestartable selects whether mitigation establishes a restart point.
+func WithRestartable(restartable bool) SystemOption {
+	return func(c *Config) { c.Restartable = restartable }
+}
+
+// controllerConfig collects NewController options.
+type controllerConfig struct {
+	shards int
+	now    func() time.Time
+}
+
+// ControllerOption configures NewController.
+type ControllerOption func(*controllerConfig)
+
+// maxShards bounds the shard count; beyond this, shard maps outnumber any
+// plausible core count without improving contention.
+const maxShards = 1024
+
+// WithShards sets the number of tracker shards (rounded up to a power of
+// two, capped at 1024). More shards means less lock contention between
+// nodes hashed together; the default scales with GOMAXPROCS.
+func WithShards(n int) ControllerOption {
+	return func(c *controllerConfig) { c.shards = n }
+}
+
+// WithNowFunc sets the controller's clock, used by RecommendNow. Tests and
+// replay drivers inject a synthetic clock; the default is time.Now.
+func WithNowFunc(now func() time.Time) ControllerOption {
+	return func(c *controllerConfig) {
+		if now != nil {
+			c.now = now
+		}
+	}
+}
+
+// defaultControllerConfig seeds the option struct.
+func defaultControllerConfig() controllerConfig {
+	return controllerConfig{shards: 2 * runtime.GOMAXPROCS(0), now: time.Now}
+}
+
+// ceilPow2 rounds n up to the next power of two, clamped to [1, maxShards].
+func ceilPow2(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,327 @@
+package uerl
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/evalx"
+	"repro/internal/features"
+	"repro/internal/nn"
+	"repro/internal/policies"
+	"repro/internal/rf"
+	"repro/internal/rl"
+)
+
+// PolicyKind names one of the §4.2 policy families.
+type PolicyKind string
+
+const (
+	// PolicyNever never mitigates (the no-mitigation baseline).
+	PolicyNever PolicyKind = "never"
+	// PolicyAlways mitigates on every telemetry event.
+	PolicyAlways PolicyKind = "always"
+	// PolicySC20RF thresholds the SC'20 random-forest UE score.
+	PolicySC20RF PolicyKind = "sc20-rf"
+	// PolicyMyopicRF mitigates when RF score × potential UE cost exceeds
+	// the mitigation cost.
+	PolicyMyopicRF PolicyKind = "myopic-rf"
+	// PolicyRL is the paper's dueling double DQN agent.
+	PolicyRL PolicyKind = "rl"
+	// PolicyOracle mitigates exactly on the last event before each UE
+	// (future knowledge; not realizable, not serializable).
+	PolicyOracle PolicyKind = "oracle"
+)
+
+// PolicyKinds lists every kind TrainPolicy accepts, in §4.2 order.
+func PolicyKinds() []PolicyKind {
+	return []PolicyKind{PolicyNever, PolicyAlways, PolicySC20RF, PolicyMyopicRF, PolicyRL, PolicyOracle}
+}
+
+// ParsePolicyKind converts a CLI string to a PolicyKind.
+func ParsePolicyKind(s string) (PolicyKind, error) {
+	for _, k := range PolicyKinds() {
+		if s == string(k) {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("uerl: unknown policy kind %q (want one of %v)", s, PolicyKinds())
+}
+
+// Policy is the unified serving interface over every §4.2 approach: a
+// decision function from a node state Snapshot to a Decision, plus the
+// identity a serving layer needs (kind, report name, artifact version).
+//
+// Implementations served by a Controller must be safe for concurrent use;
+// all policies returned by this package are. Custom implementations are
+// welcome — any Policy can be served by NewController and scored by
+// System.EvaluatePolicy — but only the built-in kinds can be persisted
+// with SaveModel.
+type Policy interface {
+	// Kind reports the policy family.
+	Kind() PolicyKind
+	// Name identifies the policy in reports.
+	Name() string
+	// Version identifies the model artifact (content-addressed for
+	// trained kinds, so two identical weight sets share a version).
+	Version() string
+	// Decide maps a raw Table 1 feature snapshot to a decision. The
+	// returned Decision must have Action and Score set; the serving layer
+	// fills the bookkeeping fields.
+	Decide(s Snapshot) Decision
+}
+
+// ---- Never / Always ----
+
+// staticPolicy is a trivial constant policy (Never / Always).
+type staticPolicy struct {
+	kind  PolicyKind
+	name  string
+	act   Action
+	score float64
+}
+
+// NeverPolicy returns the Never-mitigate baseline as a servable Policy.
+func NeverPolicy() Policy {
+	return &staticPolicy{kind: PolicyNever, name: policies.Never{}.Name(), act: ActionNone, score: -1}
+}
+
+// AlwaysPolicy returns the Always-mitigate baseline as a servable Policy.
+func AlwaysPolicy() Policy {
+	return &staticPolicy{kind: PolicyAlways, name: policies.Always{}.Name(), act: ActionMitigate, score: 1}
+}
+
+func (p *staticPolicy) Kind() PolicyKind { return p.kind }
+func (p *staticPolicy) Name() string     { return p.name }
+func (p *staticPolicy) Version() string  { return staticVersion(p.kind) }
+
+func (p *staticPolicy) Decide(s Snapshot) Decision {
+	return decisionFor(p, s, p.act, p.score, nil)
+}
+
+// ---- SC20-RF ----
+
+// rfPolicy serves the SC20-RF threshold policy.
+type rfPolicy struct {
+	d        *policies.RFThreshold
+	version  string
+	training *TrainingInfo
+}
+
+func newRFPolicy(forest *rf.Forest, threshold float64, info *TrainingInfo) (*rfPolicy, error) {
+	version, err := forestVersion(PolicySC20RF, forest, threshold)
+	if err != nil {
+		return nil, err
+	}
+	return &rfPolicy{
+		d:        &policies.RFThreshold{Forest: forest, Threshold: threshold},
+		version:  version,
+		training: info,
+	}, nil
+}
+
+func (p *rfPolicy) Kind() PolicyKind { return PolicySC20RF }
+func (p *rfPolicy) Name() string     { return p.d.Name() }
+func (p *rfPolicy) Version() string  { return p.version }
+
+func (p *rfPolicy) Decide(s Snapshot) Decision {
+	ctx := policies.Context{Node: s.Node, Time: s.Time, Features: s.vector()}
+	// One forest inference: the score's zero crossing IS the decision
+	// boundary (probability margin over the threshold).
+	score := p.d.Score(ctx)
+	return decisionFor(p, s, actionOf(score > 0), score, nil)
+}
+
+// ---- Myopic-RF ----
+
+// myopicPolicy serves the cost-aware Myopic-RF policy.
+type myopicPolicy struct {
+	d        *policies.MyopicRF
+	version  string
+	training *TrainingInfo
+}
+
+func newMyopicPolicy(forest *rf.Forest, mitigationCostNodeHours float64, info *TrainingInfo) (*myopicPolicy, error) {
+	version, err := forestVersion(PolicyMyopicRF, forest, mitigationCostNodeHours)
+	if err != nil {
+		return nil, err
+	}
+	return &myopicPolicy{
+		d:        &policies.MyopicRF{Forest: forest, MitigationCostNodeHours: mitigationCostNodeHours},
+		version:  version,
+		training: info,
+	}, nil
+}
+
+func (p *myopicPolicy) Kind() PolicyKind { return PolicyMyopicRF }
+func (p *myopicPolicy) Name() string     { return p.d.Name() }
+func (p *myopicPolicy) Version() string  { return p.version }
+
+func (p *myopicPolicy) Decide(s Snapshot) Decision {
+	ctx := policies.Context{Node: s.Node, Time: s.Time, Features: s.vector()}
+	// One forest inference, as in rfPolicy: score > 0 is the decision.
+	score := p.d.Score(ctx)
+	return decisionFor(p, s, actionOf(score > 0), score, nil)
+}
+
+// ---- RL ----
+
+// rlPolicy serves the trained Q-network. Scratch space is pooled, so one
+// instance can serve all controller shards concurrently.
+type rlPolicy struct {
+	q        *rl.SharedQPolicy
+	version  string
+	training *TrainingInfo
+}
+
+// newRLPolicy wraps a frozen network (the policy takes ownership; Clone
+// first if the source keeps training).
+func newRLPolicy(net *nn.Network, info *TrainingInfo) (*rlPolicy, error) {
+	if got := net.Config().Inputs; got != features.Dim {
+		return nil, fmt.Errorf("uerl: model expects %d inputs, this build uses %d", got, features.Dim)
+	}
+	version, err := networkVersion(PolicyRL, net)
+	if err != nil {
+		return nil, err
+	}
+	return &rlPolicy{q: rl.NewSharedQPolicy(net), version: version, training: info}, nil
+}
+
+func (p *rlPolicy) Kind() PolicyKind { return PolicyRL }
+func (p *rlPolicy) Name() string     { return "RL" }
+func (p *rlPolicy) Version() string  { return p.version }
+
+func (p *rlPolicy) Decide(s Snapshot) Decision {
+	qv := p.q.QValues(make([]float64, 0, 2), s.vector().Normalized())
+	act := ActionNone
+	if len(qv) >= 2 && qv[1] > qv[0] {
+		act = ActionMitigate
+	}
+	score := 0.0
+	if len(qv) >= 2 {
+		score = qv[1] - qv[0]
+	}
+	return decisionFor(p, s, act, score, qv)
+}
+
+// ---- Oracle ----
+
+// oraclePolicy serves the future-knowledge Oracle over a fixed point set.
+type oraclePolicy struct {
+	d *policies.Oracle
+}
+
+func (p *oraclePolicy) Kind() PolicyKind { return PolicyOracle }
+func (p *oraclePolicy) Name() string     { return p.d.Name() }
+func (p *oraclePolicy) Version() string  { return staticVersion(PolicyOracle) }
+
+func (p *oraclePolicy) Decide(s Snapshot) Decision {
+	ctx := policies.Context{Node: s.Node, Time: s.Time, Features: s.vector()}
+	mit := p.d.Decide(ctx)
+	score := -1.0
+	if mit {
+		score = 1
+	}
+	return decisionFor(p, s, actionOf(mit), score, nil)
+}
+
+// ---- shared helpers ----
+
+// actionOf converts a Decider boolean to an Action.
+func actionOf(mitigate bool) Action {
+	if mitigate {
+		return ActionMitigate
+	}
+	return ActionNone
+}
+
+// decisionFor assembles the Decision a policy returns from Decide.
+func decisionFor(p Policy, s Snapshot, act Action, score float64, qv []float64) Decision {
+	return Decision{
+		Node:         s.Node,
+		Time:         s.Time,
+		Action:       act,
+		Score:        score,
+		QValues:      qv,
+		Features:     s.Features,
+		Policy:       p.Name(),
+		ModelVersion: p.Version(),
+	}
+}
+
+// trainingInfo snapshots the system configuration that produced a model.
+func (s *System) trainingInfo() *TrainingInfo {
+	return &TrainingInfo{
+		Budget:                    s.cfg.Budget.String(),
+		Seed:                      s.cfg.Seed,
+		MitigationCostNodeMinutes: s.cfg.MitigationCostNodeMinutes,
+		Restartable:               s.cfg.Restartable,
+	}
+}
+
+// TrainPolicy trains (when the kind needs fitting) and returns the kind's
+// policy, ready to be served by a Controller, persisted with SaveModel
+// (Oracle excepted), or scored with EvaluatePolicy. Trained kinds share
+// one cached single-split fit (first 75% of the log, the §4.1 protocol),
+// so training several kinds costs one training run.
+func (s *System) TrainPolicy(kind PolicyKind) (Policy, error) {
+	switch kind {
+	case PolicyNever:
+		return NeverPolicy(), nil
+	case PolicyAlways:
+		return AlwaysPolicy(), nil
+	case PolicySC20RF:
+		sp := s.trainedSplit()
+		return newRFPolicy(sp.Forest, sp.Threshold, s.trainingInfo())
+	case PolicyMyopicRF:
+		sp := s.trainedSplit()
+		return newMyopicPolicy(sp.Forest, sp.Env.MitigationCostNodeHours(), s.trainingInfo())
+	case PolicyRL:
+		sp := s.trainedSplit()
+		if sp.Agent == nil {
+			return nil, fmt.Errorf("uerl: split trained without an RL agent")
+		}
+		return newRLPolicy(sp.Agent.Online().Clone(), s.trainingInfo())
+	case PolicyOracle:
+		rc := s.replayContext()
+		pts := evalx.OraclePoints(rc.byNode, time.Time{}, time.Time{})
+		return &oraclePolicy{d: policies.NewOracle(pts)}, nil
+	}
+	return nil, fmt.Errorf("uerl: unknown policy kind %q (want one of %v)", kind, PolicyKinds())
+}
+
+// policyDecider adapts a serving Policy back to the replay engine's
+// Decider interface so EvaluatePolicy can account it like any §4.2
+// approach.
+type policyDecider struct{ p Policy }
+
+func (d policyDecider) Name() string { return d.p.Name() }
+
+func (d policyDecider) Decide(ctx policies.Context) bool {
+	return d.p.Decide(Snapshot{Node: ctx.Node, Time: ctx.Time, Features: ctx.Features[:]}).Mitigate()
+}
+
+// EvaluatePolicy replays one policy — built-in or custom — over the
+// system's world under the standard workload model and accounts costs on
+// the held-out final 25% of the log span (the same window the single-split
+// trained policies are fitted against), so results are comparable across
+// policies and with TrainPolicy artifacts.
+func (s *System) EvaluatePolicy(p Policy) (PolicyCost, error) {
+	if p == nil {
+		return PolicyCost{}, fmt.Errorf("uerl: nil policy")
+	}
+	rc := s.replayContext()
+	res := evalx.Replay(policyDecider{p: p}, rc.byNode, rc.sampler, evalx.ReplayConfig{
+		Env:     s.cvConfig().Env,
+		JobSeed: s.cfg.Seed,
+		From:    rc.trainTo,
+	})
+	return PolicyCost{
+		Policy:         res.Policy,
+		TotalNodeHours: res.TotalCost(),
+		UENodeHours:    res.UECost,
+		MitigationNH:   res.MitigationCost + res.TrainingCost,
+		Mitigations:    res.Metrics.Mitigations,
+		Recall:         res.Metrics.Recall(),
+		Precision:      res.Metrics.Precision(),
+	}, nil
+}

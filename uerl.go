@@ -6,16 +6,40 @@
 // migration, node clone) based on the node's error history and the running
 // job's potential loss.
 //
-// The package offers two entry points:
+// The package offers two entry points.
 //
-//   - The research harness: NewSystem builds a synthetic MareNostrum-style
-//     world (error log + job trace) and Evaluate reproduces the paper's
-//     cost–benefit comparison of Never/Always/SC20-RF/Myopic-RF/RL/Oracle
-//     under time-series nested cross-validation.
+// # The research harness
 //
-//   - The deployment-style API: TrainAgent fits an agent, and a Controller
-//     consumes a live stream of node telemetry events and recommends
-//     mitigations, the way a production daemon would use the model.
+// NewSystem builds a synthetic MareNostrum-style world (error log + job
+// trace) from functional options, and Evaluate reproduces the paper's
+// cost–benefit comparison of Never/Always/SC20-RF/Myopic-RF/RL/Oracle
+// under time-series nested cross-validation:
+//
+//	sys := uerl.NewSystem(uerl.WithSeed(42), uerl.WithBudgetCI())
+//	sys.Evaluate().Render(os.Stdout)
+//
+// (NewSystemFromConfig keeps the old Config-struct path working.)
+//
+// # The serving layer
+//
+// Every §4.2 approach implements the Policy interface. TrainPolicy fits
+// one (the trained kinds share a cached fit), SaveModel/LoadModel persist
+// it as a versioned artifact, and a Controller serves it against a live
+// stream of node telemetry — the monitoring-and-decision daemon of the
+// paper's Fig. 1:
+//
+//	policy, _ := sys.TrainPolicy(uerl.PolicyRL)
+//	_ = uerl.SaveModelFile("model.json", policy)
+//
+//	ctl := uerl.NewController(policy, uerl.WithShards(8))
+//	ctl.ObserveBatch(ctx, events)               // concurrent ingestion
+//	d := ctl.Recommend(node, now, potentialNH)  // side-effect-free query
+//	// d.Action, d.Score, d.QValues, d.Features, d.ModelVersion
+//
+// The controller is sharded and safe for concurrent use: ingestion locks
+// only the queried node's shard, and Recommend is a read-only path, so
+// polling never perturbs feature state. EvaluatePolicy scores any Policy —
+// including custom ones — under the paper's cost model.
 //
 // Everything underneath (neural networks, RL, the telemetry and job
 // simulators, the random-forest baseline, the evaluation pipeline) is
@@ -26,7 +50,10 @@ package uerl
 import (
 	"fmt"
 	"io"
+	"sync"
+	"time"
 
+	"repro/internal/env"
 	"repro/internal/errlog"
 	"repro/internal/evalx"
 	"repro/internal/experiments"
@@ -55,6 +82,31 @@ func (b Budget) preset() evalx.Preset {
 	default:
 		return evalx.PresetCI
 	}
+}
+
+// String returns the budget's CLI name ("ci", "default" or "paper").
+func (b Budget) String() string {
+	switch b {
+	case BudgetPaper:
+		return "paper"
+	case BudgetDefault:
+		return "default"
+	default:
+		return "ci"
+	}
+}
+
+// ParseBudget converts a CLI string to a Budget.
+func ParseBudget(s string) (Budget, error) {
+	switch s {
+	case "ci":
+		return BudgetCI, nil
+	case "default":
+		return BudgetDefault, nil
+	case "paper":
+		return BudgetPaper, nil
+	}
+	return 0, fmt.Errorf("uerl: unknown budget %q (want ci, default or paper)", s)
 }
 
 // Config parameterizes a synthetic world and the evaluation protocol. The
@@ -90,14 +142,36 @@ func DefaultConfig(b Budget) Config {
 	}
 }
 
-// System is a generated world plus its evaluation configuration.
+// System is a generated world plus its evaluation configuration. Its
+// training entry points (TrainPolicy, TrainAgent) share one cached fit,
+// and the replay context backing EvaluatePolicy is computed once; both are
+// concurrency-safe.
 type System struct {
 	cfg   Config
 	world *experiments.World
+
+	splitOnce sync.Once
+	split     *evalx.SingleSplit
+
+	replayOnce sync.Once
+	replay     replayCtx
 }
 
-// NewSystem generates the synthetic world for cfg.
-func NewSystem(cfg Config) *System {
+// NewSystem generates a synthetic world from functional options, applied
+// on top of the paper's configuration at BudgetCI:
+//
+//	uerl.NewSystem(uerl.WithSeed(1), uerl.WithBudgetPaper())
+func NewSystem(opts ...SystemOption) *System {
+	cfg := DefaultConfig(BudgetCI)
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewSystemFromConfig(cfg)
+}
+
+// NewSystemFromConfig generates the synthetic world for cfg — the
+// pre-options construction path, kept for existing callers.
+func NewSystemFromConfig(cfg Config) *System {
 	scale := experiments.ScaleFor(cfg.Budget.preset())
 	scale.Seed = cfg.Seed
 	if cfg.Scale > 0 {
@@ -115,6 +189,40 @@ func NewSystem(cfg Config) *System {
 		cfg.MitigationCostNodeMinutes = 2
 	}
 	return &System{cfg: cfg, world: w}
+}
+
+// trainedSplit lazily trains the shared single-split fit (first 75% of the
+// log, §4.1): the RF forest with its optimal threshold and the RL agent.
+func (s *System) trainedSplit() *evalx.SingleSplit {
+	s.splitOnce.Do(func() {
+		split := evalx.TrainSingleSplit(s.world.Log, s.world.Trace, s.cvConfig(), trainFrac)
+		s.split = &split
+	})
+	return s.split
+}
+
+// trainFrac is the single-split train/test boundary (§4.1).
+const trainFrac = 0.75
+
+// replayCtx is the preprocessed world used to replay policies without
+// training anything: per-node merged ticks, the job sampler, and the
+// single-split train/test boundary.
+type replayCtx struct {
+	byNode  [][]errlog.Tick
+	sampler *jobs.Sampler
+	trainTo time.Time
+}
+
+// replayContext lazily preprocesses the log for policy replay.
+func (s *System) replayContext() replayCtx {
+	s.replayOnce.Do(func() {
+		pre := errlog.Preprocess(s.world.Log)
+		s.replay.byNode = env.GroupTicks(errlog.Merge(pre, errlog.MergeWindow))
+		s.replay.sampler = jobs.NewSampler(s.world.Trace)
+		first, last := pre.Span()
+		s.replay.trainTo = first.Add(time.Duration(float64(last.Sub(first)) * trainFrac))
+	})
+	return s.replay
 }
 
 // World exposes the underlying experiment world for advanced use.

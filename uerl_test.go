@@ -18,8 +18,44 @@ func testSystem(t *testing.T) *System {
 	if testing.Short() {
 		t.Skip("system integration tests in short mode")
 	}
-	sysOnce.Do(func() { sys = NewSystem(DefaultConfig(BudgetCI)) })
+	// Exercise the back-compat Config path; options are tested separately.
+	sysOnce.Do(func() { sys = NewSystemFromConfig(DefaultConfig(BudgetCI)) })
 	return sys
+}
+
+func TestNewSystemOptions(t *testing.T) {
+	base := DefaultConfig(BudgetCI)
+	var got Config
+	NewSystem(
+		WithSeed(7),
+		WithBudgetPaper(),
+		WithBudgetCI(), // later options win
+		WithScale(0.01),
+		WithJobs(11),
+		WithJobSizeScale(2),
+		WithMitigationCost(5),
+		WithRestartable(false),
+		WithConfig(base), // wholesale replacement drops everything above
+		WithSeed(9),
+		func(c *Config) { got = *c },
+	)
+	want := base
+	want.Seed = 9
+	if got != want {
+		t.Fatalf("options applied wrong: got %+v want %+v", got, want)
+	}
+}
+
+func TestBudgetStringRoundTrip(t *testing.T) {
+	for _, b := range []Budget{BudgetCI, BudgetDefault, BudgetPaper} {
+		parsed, err := ParseBudget(b.String())
+		if err != nil || parsed != b {
+			t.Fatalf("budget %v round-trip: parsed %v err %v", b, parsed, err)
+		}
+	}
+	if _, err := ParseBudget("nope"); err == nil {
+		t.Fatal("bad budget accepted")
+	}
 }
 
 func TestNewSystemAndStats(t *testing.T) {
@@ -112,7 +148,11 @@ func TestRunExperimentNames(t *testing.T) {
 func TestTrainAgentAndController(t *testing.T) {
 	s := testSystem(t)
 	agent := s.TrainAgent()
-	ctl := NewController(agent)
+	policy, err := agent.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := NewController(policy)
 
 	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
 	// Feed a healthy node and a degrading node.
@@ -129,10 +169,22 @@ func TestTrainAgentAndController(t *testing.T) {
 
 	// Recommendations must be callable for both nodes and for an unseen
 	// node without panicking; decisions themselves depend on training.
-	_ = ctl.Recommend(1, base.Add(2*time.Hour), 10)
+	d := ctl.Recommend(1, base.Add(2*time.Hour), 10)
+	if d.Node != 1 || d.Policy == "" || d.ModelVersion == "" || len(d.QValues) != 2 {
+		t.Fatalf("decision missing bookkeeping: %+v", d)
+	}
+	if len(d.Features) != FeatureDim {
+		t.Fatalf("decision has %d features, want %d", len(d.Features), FeatureDim)
+	}
 	_ = ctl.Recommend(2, base.Add(2*time.Hour), 5000)
 	_ = ctl.Recommend(99, base, 1)
+	if n := ctl.NodeCount(); n != 2 {
+		t.Fatalf("tracked %d nodes, want 2 (queries must not create state)", n)
+	}
 	ctl.Forget(2)
+	if n := ctl.NodeCount(); n != 1 {
+		t.Fatalf("tracked %d nodes after Forget, want 1", n)
+	}
 	_ = ctl.Recommend(2, base.Add(3*time.Hour), 1)
 }
 
@@ -148,13 +200,24 @@ func TestAgentSerializationRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Both must produce identical recommendations.
-	ctlA := NewController(agent)
-	ctlB := NewController(&restored)
+	pa, err := agent.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := restored.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Version() != pb.Version() {
+		t.Fatalf("restored agent has version %q, want %q", pb.Version(), pa.Version())
+	}
+	ctlA := NewController(pa)
+	ctlB := NewController(pb)
 	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
 	for i := 0; i < 20; i++ {
 		cost := float64(i) * 500
 		at := base.Add(time.Duration(i) * time.Hour)
-		if ctlA.Recommend(1, at, cost) != ctlB.Recommend(1, at, cost) {
+		if ctlA.Recommend(1, at, cost).Action != ctlB.Recommend(1, at, cost).Action {
 			t.Fatalf("restored agent disagrees at cost %v", cost)
 		}
 	}
