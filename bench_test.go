@@ -146,8 +146,27 @@ func BenchmarkNNForward(b *testing.B) {
 	}
 }
 
-// BenchmarkNNTrainStep measures forward+backward+Adam on the paper's
-// architecture.
+// BenchmarkNNForwardBatch measures a DQN-minibatch (32-sample) batched
+// forward pass; ns/sample is the figure comparable with BenchmarkNNForward.
+func BenchmarkNNForwardBatch(b *testing.B) {
+	const batch = 32
+	net := nn.New(nn.Config{Inputs: features.Dim, Hidden: []int{256, 256, 128, 64},
+		Outputs: 2, Dueling: true, Seed: 1})
+	bs := net.NewBatchScratch(batch)
+	xs := make([]float64, batch*features.Dim)
+	for i := range xs {
+		xs[i] = float64(i%features.Dim) * 0.1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardBatchInto(bs, xs, batch)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/sample")
+}
+
+// BenchmarkNNTrainStep measures one single-sample forward+backward+Adam on
+// the paper's architecture — the pre-batching reference cost per sample.
 func BenchmarkNNTrainStep(b *testing.B) {
 	net := nn.New(nn.Config{Inputs: features.Dim, Hidden: []int{256, 256, 128, 64},
 		Outputs: 2, Dueling: true, Seed: 1})
@@ -163,6 +182,38 @@ func BenchmarkNNTrainStep(b *testing.B) {
 		net.Backward(s, dOut)
 		opt.Step(net.Params())
 	}
+}
+
+// BenchmarkNNTrainStepBatched measures one batched DQN train step (32
+// samples through forward, backward and Adam as single batched passes);
+// ns/sample is the figure comparable with BenchmarkNNTrainStep.
+func BenchmarkNNTrainStepBatched(b *testing.B) {
+	const batch = 32
+	net := nn.New(nn.Config{Inputs: features.Dim, Hidden: []int{256, 256, 128, 64},
+		Outputs: 2, Dueling: true, Seed: 1})
+	bs := net.NewBatchScratch(batch)
+	opt := &nn.Adam{LR: 1e-3}
+	xs := make([]float64, batch*features.Dim)
+	for i := range xs {
+		xs[i] = float64(i%features.Dim) * 0.1
+	}
+	dOut := make([]float64, batch*2)
+	for i := range dOut {
+		if i%2 == 0 {
+			dOut[i] = 0.1
+		} else {
+			dOut[i] = -0.1
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardBatchInto(bs, xs, batch)
+		net.ZeroGrad()
+		net.BackwardBatch(bs, dOut, batch)
+		opt.Step(net.Params())
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/sample")
 }
 
 // BenchmarkPERSample measures prioritized replay sampling at DQN batch
@@ -224,13 +275,25 @@ func BenchmarkFeatureTracker(b *testing.B) {
 }
 
 // BenchmarkReplayNever measures the policy-replay engine throughput with a
-// no-op policy over the full CI-scale log.
+// no-op policy over the full CI-scale log, fanning nodes out across
+// GOMAXPROCS workers (the default). Output is bit-identical to the serial
+// bench below; only wall clock changes with cores.
 func BenchmarkReplayNever(b *testing.B) {
+	benchReplay(b, 0)
+}
+
+// BenchmarkReplayNeverSerial is the single-worker baseline for the
+// parallel bench above.
+func BenchmarkReplayNeverSerial(b *testing.B) {
+	benchReplay(b, 1)
+}
+
+func benchReplay(b *testing.B, parallelism int) {
 	w := world(b)
 	pre := errlog.Preprocess(w.Log)
 	byNode := env.GroupTicks(errlog.Merge(pre, errlog.MergeWindow))
 	sampler := jobs.NewSampler(w.Trace)
-	cfg := evalx.ReplayConfig{Env: env.DefaultConfig(), JobSeed: 1}
+	cfg := evalx.ReplayConfig{Env: env.DefaultConfig(), JobSeed: 1, Parallelism: parallelism}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		evalx.Replay(noopDecider{}, byNode, sampler, cfg)
@@ -241,6 +304,7 @@ type noopDecider struct{}
 
 func (noopDecider) Name() string                 { return "noop" }
 func (noopDecider) Decide(policies.Context) bool { return false }
+func (noopDecider) ConcurrentSafe() bool         { return true }
 
 // ---- Serving-path benchmarks (the controller hot paths) ----
 

@@ -60,6 +60,10 @@ func (e Event) toErrlog() errlog.Event {
 type ctlShard struct {
 	mu       sync.RWMutex
 	trackers map[int]*features.Tracker
+	// evBuf backs the single-event tick handed to Tracker.Observe, so
+	// ingesting an event allocates nothing. Guarded by mu; Observe does
+	// not retain the events slice.
+	evBuf [1]errlog.Event
 }
 
 // Controller is the serving layer of Fig. 1: it consumes a live stream of
@@ -126,7 +130,8 @@ func (sh *ctlShard) observe(e Event) {
 		tr = features.NewTracker()
 		sh.trackers[e.Node] = tr
 	}
-	tr.Observe(errlog.Tick{Time: e.Time, Node: e.Node, Events: []errlog.Event{e.toErrlog()}}, 0)
+	sh.evBuf[0] = e.toErrlog()
+	tr.Observe(errlog.Tick{Time: e.Time, Node: e.Node, Events: sh.evBuf[:]}, 0)
 }
 
 // ObserveBatch ingests a batch of telemetry events, taking each shard's
@@ -190,12 +195,15 @@ func (c *Controller) peek(node int, at time.Time, cost float64) features.Vector 
 // event — a lagging poller clock inflates the Eq. 2 variation features.
 func (c *Controller) Recommend(node int, at time.Time, potentialCostNodeHours float64) Decision {
 	v := c.peek(node, at, potentialCostNodeHours)
-	d := c.policy.Decide(Snapshot{Node: node, Time: at, Features: v[:]})
-	// Normalize bookkeeping so custom policies can leave it to us.
+	d := c.policy.Decide(Snapshot{Node: node, Time: at, Features: v})
+	// Normalize bookkeeping so custom policies can leave it to us. The
+	// snapshot and decision are plain values (inline feature arrays), so
+	// this whole query path performs zero heap allocations. Features is
+	// authoritative: the controller always records the exact snapshot it
+	// handed the policy, so audits see the true decision inputs even if a
+	// custom policy wrote something else there.
 	d.Node, d.Time = node, at
-	if d.Features == nil {
-		d.Features = v[:]
-	}
+	d.Features = v
 	if d.Policy == "" {
 		d.Policy = c.policy.Name()
 	}
@@ -213,10 +221,11 @@ func (c *Controller) RecommendNow(node int, potentialCostNodeHours float64) Deci
 
 // Features returns the node's raw Table 1 feature vector as it would be
 // reported at time at with the given potential UE cost — the same
-// side-effect-free read Recommend uses, exposed for observability.
-func (c *Controller) Features(node int, at time.Time, potentialCostNodeHours float64) []float64 {
+// side-effect-free read Recommend uses, exposed for observability. The
+// result is a value (comparable with ==) and the call does not allocate.
+func (c *Controller) Features(node int, at time.Time, potentialCostNodeHours float64) [FeatureDim]float64 {
 	v := c.peek(node, at, potentialCostNodeHours)
-	return v[:]
+	return v
 }
 
 // Forget drops a node's accumulated state (e.g. after DIMM replacement).

@@ -210,3 +210,39 @@ func TestControllerConcurrency(t *testing.T) {
 		t.Fatalf("tracked %d nodes, want 1..%d", n, nodes)
 	}
 }
+
+// TestServingPathZeroAlloc: the two serving hot paths — single-event
+// ingestion and side-effect-free recommendation (Q-network forward
+// included) — must not allocate in steady state.
+func TestServingPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation makes sync.Pool allocate")
+	}
+	ctl := NewController(testRLPolicy(t), WithShards(8))
+	base := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	for _, ev := range degradingEvents(1, base, 256) {
+		ctl.ObserveEvent(ev)
+	}
+
+	ev := Event{Node: 1, DIMM: 8, Type: CorrectedError, Count: 3, Rank: 0, Bank: 1, Row: 100, Col: 2}
+	at := base
+	allocs := testing.AllocsPerRun(200, func() {
+		at = at.Add(time.Second)
+		ev.Time = at
+		ctl.ObserveEvent(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("ObserveEvent allocates %v times per run, want 0", allocs)
+	}
+
+	query := at.Add(time.Hour)
+	allocs = testing.AllocsPerRun(200, func() {
+		d := ctl.Recommend(1, query, 4200)
+		if d.Node != 1 {
+			t.Fatal("wrong node")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Recommend allocates %v times per run, want 0", allocs)
+	}
+}

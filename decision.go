@@ -33,24 +33,29 @@ func (a Action) String() string {
 
 // Snapshot is the per-node state handed to a Policy at a decision point:
 // the node, the decision time, and the raw Table 1 feature vector
-// (FeatureDim long, potential UE cost included).
+// (potential UE cost included). Features is an inline array, so snapshots
+// have pure value semantics: building one allocates nothing and a Policy
+// may retain its copy freely.
 type Snapshot struct {
 	Node     int
 	Time     time.Time
-	Features []float64
+	Features [FeatureDim]float64
 }
 
 // vector converts the snapshot features back to the internal layout.
 func (s Snapshot) vector() features.Vector {
-	var v features.Vector
-	copy(v[:], s.Features)
-	return v
+	return features.Vector(s.Features)
 }
 
 // Decision is a full serving answer: the action plus everything an
 // operator needs to audit it — the policy's confidence score, the raw
 // Q-values when the policy is a Q-network, the feature snapshot the
 // decision was made on, and the version of the model that made it.
+//
+// Decisions are plain values: the feature snapshot and Q-values are inline
+// arrays, so the Recommend hot path returns a fully populated Decision
+// without a single heap allocation, and callers can retain or compare
+// decisions (==) freely.
 type Decision struct {
 	// Node and Time identify the decision point.
 	Node int
@@ -63,10 +68,12 @@ type Decision struct {
 	// for the forest policies, expected-cost margin for Myopic-RF).
 	Score float64
 	// QValues holds the Q-network outputs [Q(none), Q(mitigate)] when the
-	// serving policy is the RL agent; nil otherwise.
-	QValues []float64
+	// serving policy is the RL agent (HasQ true); zero otherwise.
+	QValues [2]float64
+	// HasQ reports whether QValues carries real Q-network outputs.
+	HasQ bool
 	// Features is the raw Table 1 feature snapshot the decision used.
-	Features []float64
+	Features [FeatureDim]float64
 	// Policy is the serving policy's report name.
 	Policy string
 	// ModelVersion identifies the model artifact (see Policy.Version).

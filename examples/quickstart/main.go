@@ -92,7 +92,7 @@ func main() {
 		// Recommend is side-effect-free: polling never changes features.
 		d := ctl.Recommend(c.node, now.Add(time.Hour), c.cost)
 		detail := fmt.Sprintf("score=%+.2f", d.Score)
-		if len(d.QValues) == 2 { // Q-values only exist for the RL policy
+		if d.HasQ { // Q-values only exist for the RL policy
 			detail = fmt.Sprintf("Q=[%.2f %.2f]", d.QValues[0], d.QValues[1])
 		}
 		fmt.Printf("  node %d, potential loss %7.0f node-hours (%s): %-8s %s\n",

@@ -2,6 +2,7 @@ package evalx
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/env"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/jobs"
 	"repro/internal/mathx"
+	"repro/internal/parx"
 	"repro/internal/policies"
 	"repro/internal/rf"
 	"repro/internal/rl"
@@ -49,6 +51,12 @@ type CVConfig struct {
 	// RLEpisodes overrides the preset's per-candidate episode budget when
 	// positive.
 	RLEpisodes int
+	// TrainParallelism bounds the hyperparameter-search worker pool: 0
+	// selects GOMAXPROCS, 1 trains candidates serially. Each in-flight
+	// candidate holds its own networks and replay buffer (~10+ MB at
+	// paper scale), so memory-constrained runs should bound this.
+	// Selection is deterministic for every value.
+	TrainParallelism int
 }
 
 // DefaultCVConfig returns the paper's protocol with the given preset.
@@ -405,6 +413,12 @@ func evaluateSplit(cfg CVConfig, byNode [][]errlog.Tick, sampler *jobs.Sampler, 
 
 // trainRL runs the per-split hyperparameter search and returns the frozen
 // policy of the best candidate.
+//
+// Candidates are independent given the incoming warm-start agent (which is
+// only read), so they train and score across a bounded worker pool. The
+// winner is reduced deterministically — lowest validation cost, ties broken
+// by candidate index — which is exactly the serial loop's selection rule,
+// so the search returns the same model for any worker count.
 func trainRL(cfg CVConfig, trainTicks [][]errlog.Tick, sampler *jobs.Sampler, spec splitSpec, warm **rl.Agent) rl.Policy {
 	if len(trainTicks) == 0 {
 		return rl.PolicyFunc(func([]float64) int { return env.ActionNone })
@@ -415,10 +429,22 @@ func trainRL(cfg CVConfig, trainTicks [][]errlog.Tick, sampler *jobs.Sampler, sp
 	valFrom, valTo := spec.valFrom, spec.trainTo
 	useValidation := hasUEIn(trainTicks, valFrom, valTo)
 
-	var bestAgent *rl.Agent
-	bestCost := 0.0
-	first := true
-	for ci, ac := range candidates {
+	// Reduce to a running minimum as candidates finish instead of retaining
+	// every trained agent until the end: losers become garbage immediately,
+	// so peak memory is one agent per in-flight worker (TrainParallelism)
+	// rather than one per candidate (~60 agents of 10+ MB each at paper
+	// scale). The total order (cost, candidate index) reproduces the serial
+	// selection rule — lowest cost, ties to the earliest candidate — for
+	// any completion order.
+	var (
+		bestMu   sync.Mutex
+		bestIdx  = -1
+		bestCost float64
+		bestAg   *rl.Agent
+	)
+	warmStart := *warm
+	parx.For(len(candidates), cfg.TrainParallelism, func(ci int) {
+		ac := candidates[ci]
 		envCfg := cfg.Env
 		envCfg.Seed = cfg.Seed + int64(spec.index)*1000 + int64(ci)
 		envCfg.UENodeBoost = cfg.ueNodeBoost()
@@ -434,23 +460,29 @@ func trainRL(cfg CVConfig, trainTicks [][]errlog.Tick, sampler *jobs.Sampler, sp
 			Capacity: 1 << 15, Alpha: 0.6, Beta: 0.4, BetaSteps: episodes * 20,
 		}))
 		// §4.1: subsequent splits train a mix of previously trained and
-		// untrained models. Warm-start alternate candidates.
-		if *warm != nil && ci%2 == 1 {
-			agent.SetOnline((*warm).Online().Clone())
+		// untrained models. Warm-start alternate candidates (Clone only
+		// reads the shared warm agent).
+		if warmStart != nil && ci%2 == 1 {
+			agent.SetOnline(warmStart.Online().Clone())
 		}
 		rl.Train(agent, trainEnv, rl.TrainOptions{Episodes: episodes, MaxStepsPerEpisode: 4096})
 
-		// Score the candidate.
+		// Score the candidate. Scoring replays serially: the candidates
+		// themselves already occupy the worker pool.
 		pol := &policies.RL{Policy: agent.SnapshotPolicy()}
-		scoreCfg := ReplayConfig{Env: cfg.Env, JobSeed: cfg.Seed + 999, From: valFrom, To: valTo}
+		scoreCfg := ReplayConfig{Env: cfg.Env, JobSeed: cfg.Seed + 999, From: valFrom, To: valTo, Parallelism: 1}
 		if !useValidation {
 			scoreCfg.From, scoreCfg.To = time.Time{}, spec.trainTo
 		}
 		cost := Replay(pol, trainTicks, sampler, scoreCfg).TotalCost()
-		if first || cost < bestCost {
-			bestAgent, bestCost, first = agent, cost, false
+
+		bestMu.Lock()
+		if bestIdx < 0 || cost < bestCost || (cost == bestCost && ci < bestIdx) {
+			bestIdx, bestCost, bestAg = ci, cost, agent
 		}
-	}
-	*warm = bestAgent
-	return bestAgent.SnapshotPolicy()
+		bestMu.Unlock()
+	})
+
+	*warm = bestAg
+	return bestAg.SnapshotPolicy()
 }

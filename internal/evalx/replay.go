@@ -15,6 +15,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/jobs"
 	"repro/internal/mathx"
+	"repro/internal/parx"
 	"repro/internal/policies"
 )
 
@@ -100,6 +101,14 @@ type ReplayConfig struct {
 	// (and the accounted UE cost) with a synthetic draw — used for the
 	// Table 2 uniform cost-range rows. It is invoked once per decision.
 	CostOverride func(rng *mathx.RNG) float64
+	// Parallelism bounds the per-node replay worker pool: 0 selects
+	// GOMAXPROCS, 1 forces serial replay. Results are bit-identical for
+	// every value — each node replays against its own pre-forked RNG and
+	// per-node results reduce in node order — so parallelism is purely a
+	// wall-clock knob. Deciders that do not declare themselves
+	// concurrency-safe (policies.ConcurrentDecider) replay serially
+	// regardless.
+	Parallelism int
 }
 
 // inWindow reports whether t falls inside the accounting window.
@@ -116,14 +125,39 @@ func (c ReplayConfig) inWindow(t time.Time) bool {
 // Replay runs one policy over the per-node tick sequences, accounting costs
 // and classification metrics inside the configured window. All policies
 // replayed with the same ReplayConfig see identical job sequences.
+//
+// Nodes are independent worlds, so they replay in parallel across a bounded
+// worker pool (ReplayConfig.Parallelism). Determinism is preserved by
+// construction: per-node RNGs are forked serially in node order before any
+// worker starts, each worker accumulates into its own per-node Result, and
+// the partials reduce in node order — so serial and parallel runs produce
+// bit-identical Results.
 func Replay(d policies.Decider, ticksByNode [][]errlog.Tick, sampler *jobs.Sampler, cfg ReplayConfig) Result {
 	res := Result{Policy: d.Name()}
 	rng := mathx.NewRNG(cfg.JobSeed)
+
+	type nodeWork struct {
+		ticks []errlog.Tick
+		rng   *mathx.RNG
+	}
+	work := make([]nodeWork, 0, len(ticksByNode))
 	for _, ticks := range ticksByNode {
 		if len(ticks) == 0 {
 			continue
 		}
-		replayNode(d, ticks, sampler, cfg, rng.Fork(), &res)
+		work = append(work, nodeWork{ticks: ticks, rng: rng.Fork()})
+	}
+
+	workers := parx.Workers(cfg.Parallelism)
+	if !policies.IsConcurrentSafe(d) {
+		workers = 1
+	}
+	partials := make([]Result, len(work))
+	parx.For(len(work), workers, func(i int) {
+		replayNode(d, work[i].ticks, sampler, cfg, work[i].rng, &partials[i])
+	})
+	for i := range partials {
+		res.Add(partials[i])
 	}
 	res.Metrics.FPs = res.Metrics.Mitigations - res.Metrics.TPs
 	res.Metrics.TNs = res.Metrics.NonMitigations - res.Metrics.FNs

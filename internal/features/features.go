@@ -9,6 +9,8 @@ package features
 
 import (
 	"math"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/errlog"
@@ -78,7 +80,28 @@ var maxCostFeature = math.Log1p(64000)
 // cost feature saturates at maxCostFeature. The result has the same
 // dimension and index layout as Vector.
 func (v Vector) Normalized() []float64 {
-	out := make([]float64, Dim)
+	return v.NormalizedInto(make([]float64, Dim))
+}
+
+// normPool recycles normalization scratch for WithNormalized.
+var normPool = sync.Pool{New: func() any { return new([Dim]float64) }}
+
+// WithNormalized invokes f with the normalized representation of v in
+// pooled scratch, then recycles the buffer. It is the shared zero-alloc
+// idiom for concurrent decision paths (the serving RL policy and the
+// replay RL decider); f must not retain the slice past the call.
+func (v Vector) WithNormalized(f func(norm []float64)) {
+	buf := normPool.Get().(*[Dim]float64)
+	f(v.NormalizedInto(buf[:]))
+	normPool.Put(buf)
+}
+
+// NormalizedInto is the allocation-free form of Normalized: it writes the
+// network input representation into out (len >= Dim) and returns out[:Dim].
+// It is the hot serving path: Observe → NormalizedInto → ForwardInto
+// allocates nothing.
+func (v Vector) NormalizedInto(out []float64) []float64 {
+	out = out[:Dim]
 	for i := 0; i < Dim; i++ {
 		switch i {
 		case CEVar1Min, CEVar1Hour, BootVar1Min, BootVar1Hour:
@@ -111,6 +134,96 @@ type snapshot struct {
 	boots float64
 }
 
+// maxSpreadBits bounds the direct bitset range of a spreadSet at realistic
+// DRAM geometry (row/column/rank/bank/DIMM ids all fit well under 2^16):
+// the worst-case bitset is 8 KB per set even if a stream is adversarial,
+// and ids at or beyond the bound fall back to an overflow map.
+const maxSpreadBits = 1 << 16
+
+// spreadSet counts distinct non-negative ids (ranks, banks, rows, columns,
+// DIMMs with CEs). Small ids — the universal case for DRAM geometry — live
+// in a lazily grown bitset, so the per-tick hot path neither hashes nor
+// allocates; out-of-range ids overflow into a map. Reset reuses all storage.
+type spreadSet struct {
+	bits []uint64
+	n    int
+	over map[int]struct{}
+}
+
+// add inserts v (v >= 0) into the set.
+func (s *spreadSet) add(v int) {
+	if v < maxSpreadBits {
+		w, bit := v>>6, uint64(1)<<(uint(v)&63)
+		if w >= len(s.bits) {
+			grown := make([]uint64, w+1)
+			copy(grown, s.bits)
+			s.bits = grown
+		}
+		if s.bits[w]&bit == 0 {
+			s.bits[w] |= bit
+			s.n++
+		}
+		return
+	}
+	if s.over == nil {
+		s.over = map[int]struct{}{}
+	}
+	if _, ok := s.over[v]; !ok {
+		s.over[v] = struct{}{}
+		s.n++
+	}
+}
+
+// len reports the number of distinct ids.
+func (s *spreadSet) len() int { return s.n }
+
+// reset empties the set, keeping the bitset and map storage for reuse.
+func (s *spreadSet) reset() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+	for k := range s.over {
+		delete(s.over, k)
+	}
+	s.n = 0
+}
+
+// ringHist is a ring buffer of history snapshots ordered by time. It
+// replaces the old slice-with-copying history: appends are O(1) amortized
+// with no steady-state allocation, and compaction just advances the head.
+type ringHist struct {
+	buf  []snapshot // len is a power of two once non-empty
+	head int
+	size int
+}
+
+// at returns the i-th oldest snapshot (0 <= i < size).
+func (r *ringHist) at(i int) snapshot {
+	return r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+// push appends a snapshot, growing the ring when full.
+func (r *ringHist) push(s snapshot) {
+	if r.size == len(r.buf) {
+		grown := make([]snapshot, max(16, 2*len(r.buf)))
+		for i := 0; i < r.size; i++ {
+			grown[i] = r.at(i)
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.size)&(len(r.buf)-1)] = s
+	r.size++
+}
+
+// popFront drops the oldest snapshot.
+func (r *ringHist) popFront() {
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.size--
+}
+
+// reset empties the ring, keeping the buffer for reuse.
+func (r *ringHist) reset() { r.head, r.size = 0, 0 }
+
 // Tracker maintains one node's feature state as ticks stream in. The zero
 // value is not usable; construct with NewTracker.
 type Tracker struct {
@@ -122,29 +235,38 @@ type Tracker struct {
 	boots      float64
 	lastBoot   time.Time
 	hasBoot    bool
-	ranks      map[int]struct{}
-	banks      map[int]struct{}
-	rows       map[int]struct{}
-	cols       map[int]struct{}
-	dimms      map[int]struct{}
-	history    []snapshot
+	ranks      spreadSet
+	banks      spreadSet
+	rows       spreadSet
+	cols       spreadSet
+	dimms      spreadSet
+	history    ringHist
 	lastVector Vector
 }
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
-	return &Tracker{
-		ranks: map[int]struct{}{},
-		banks: map[int]struct{}{},
-		rows:  map[int]struct{}{},
-		cols:  map[int]struct{}{},
-		dimms: map[int]struct{}{},
-	}
+	return &Tracker{}
 }
 
-// Reset returns the tracker to its initial state for reuse.
+// Reset returns the tracker to its initial state for reuse, keeping every
+// buffer (spread bitsets, history ring) it has already grown. It runs once
+// per node per training episode, so it must not reallocate.
 func (tr *Tracker) Reset() {
-	*tr = *NewTracker()
+	tr.started = false
+	tr.start = time.Time{}
+	tr.cesTotal = 0
+	tr.warnings = 0
+	tr.boots = 0
+	tr.lastBoot = time.Time{}
+	tr.hasBoot = false
+	tr.ranks.reset()
+	tr.banks.reset()
+	tr.rows.reset()
+	tr.cols.reset()
+	tr.dimms.reset()
+	tr.history.reset()
+	tr.lastVector = Vector{}
 }
 
 // Observe ingests a tick's events and returns the feature vector at the
@@ -162,19 +284,19 @@ func (tr *Tracker) Observe(tick errlog.Tick, ueCost float64) Vector {
 			ceNow += float64(e.Count)
 			tr.cesTotal += float64(e.Count)
 			if e.Rank >= 0 {
-				tr.ranks[e.Rank] = struct{}{}
+				tr.ranks.add(e.Rank)
 			}
 			if e.Bank >= 0 {
-				tr.banks[e.Bank] = struct{}{}
+				tr.banks.add(e.Bank)
 			}
 			if e.Row >= 0 {
-				tr.rows[e.Row] = struct{}{}
+				tr.rows.add(e.Row)
 			}
 			if e.Col >= 0 {
-				tr.cols[e.Col] = struct{}{}
+				tr.cols.add(e.Col)
 			}
 			if e.DIMM >= 0 {
-				tr.dimms[e.DIMM] = struct{}{}
+				tr.dimms.add(e.DIMM)
 			}
 		case errlog.UEWarning:
 			tr.warnings++
@@ -185,21 +307,16 @@ func (tr *Tracker) Observe(tick errlog.Tick, ueCost float64) Vector {
 		}
 	}
 	// Record the post-update snapshot, then compute variations against the
-	// closest snapshots at or before t-Δt.
-	tr.history = append(tr.history, snapshot{t: tick.Time, ces: tr.cesTotal, boots: tr.boots})
-	if len(tr.history)&(compactEvery-1) == 0 {
-		tr.CompactHistory(tick.Time)
-	}
+	// closest snapshots at or before t-Δt. Compaction is an O(1)-amortized
+	// head advance on the ring, so it runs on every tick and the history
+	// never exceeds the longest variation window.
+	tr.history.push(snapshot{t: tick.Time, ces: tr.cesTotal, boots: tr.boots})
+	tr.CompactHistory(tick.Time)
 
 	v := tr.vectorAt(tick.Time, ceNow, ueCost)
 	tr.lastVector = v
 	return v
 }
-
-// compactEvery bounds tracker history growth: every compactEvery appended
-// snapshots, Observe drops those older than the longest variation window.
-// Must be a power of two.
-const compactEvery = 1024
 
 // Peek returns the feature vector the node would report at time now with
 // the supplied potential UE cost, WITHOUT mutating the tracker: no
@@ -222,11 +339,11 @@ func (tr *Tracker) vectorAt(t time.Time, ceNow, ueCost float64) Vector {
 	var v Vector
 	v[CEsSinceLastEvent] = ceNow
 	v[CEsTotal] = tr.cesTotal
-	v[RanksWithCEs] = float64(len(tr.ranks))
-	v[BanksWithCEs] = float64(len(tr.banks))
-	v[RowsWithCEs] = float64(len(tr.rows))
-	v[ColsWithCEs] = float64(len(tr.cols))
-	v[DIMMsWithCEs] = float64(len(tr.dimms))
+	v[RanksWithCEs] = float64(tr.ranks.len())
+	v[BanksWithCEs] = float64(tr.banks.len())
+	v[RowsWithCEs] = float64(tr.rows.len())
+	v[ColsWithCEs] = float64(tr.cols.len())
+	v[DIMMsWithCEs] = float64(tr.dimms.len())
 	v[UEWarnings] = tr.warnings
 	switch {
 	case tr.hasBoot:
@@ -248,22 +365,15 @@ func (tr *Tracker) vectorAt(t time.Time, ceNow, ueCost float64) Vector {
 // snapshot at or before now-Δt (features only change at events).
 func (tr *Tracker) variation(now time.Time, dt time.Duration, get func(snapshot) float64, nowVal float64) float64 {
 	cutoff := now.Add(-dt)
-	// Binary search over history for the last snapshot with t <= cutoff.
-	lo, hi := 0, len(tr.history)-1
-	idx := -1
-	for lo <= hi {
-		mid := (lo + hi) / 2
-		if !tr.history[mid].t.After(cutoff) {
-			idx = mid
-			lo = mid + 1
-		} else {
-			hi = mid - 1
-		}
-	}
+	// sort.Search for the first snapshot with t > cutoff; its predecessor
+	// is the last snapshot at or before the cutoff.
+	idx := sort.Search(tr.history.size, func(i int) bool {
+		return tr.history.at(i).t.After(cutoff)
+	}) - 1
 	if idx < 0 {
 		return 0 // no history that far back: denominator is zero
 	}
-	denom := get(tr.history[idx])
+	denom := get(tr.history.at(idx))
 	if denom == 0 {
 		return 0
 	}
@@ -274,15 +384,16 @@ func (tr *Tracker) variation(now time.Time, dt time.Duration, get func(snapshot)
 func (tr *Tracker) Last() Vector { return tr.lastVector }
 
 // CompactHistory drops snapshots older than the longest variation window,
-// bounding memory for long logs. Call occasionally (e.g. per day of log
-// time).
+// bounding memory for long logs. It always keeps the latest snapshot at or
+// before the cutoff, so variation lookups are unaffected. On the ring
+// buffer this is just a head advance; Observe calls it on every tick.
 func (tr *Tracker) CompactHistory(now time.Time) {
 	cutoff := now.Add(-2 * time.Hour)
-	keep := 0
-	for keep < len(tr.history)-1 && tr.history[keep+1].t.Before(cutoff) {
-		keep++
-	}
-	if keep > 0 {
-		tr.history = append(tr.history[:0], tr.history[keep:]...)
+	for tr.history.size > 1 && tr.history.at(1).t.Before(cutoff) {
+		tr.history.popFront()
 	}
 }
+
+// HistoryLen reports the number of retained history snapshots (for tests
+// and observability).
+func (tr *Tracker) HistoryLen() int { return tr.history.size }

@@ -165,8 +165,86 @@ func TestCompactHistoryPreservesVariation(t *testing.T) {
 	if math.Abs(v[CEVar1Hour]-2) > 1e-9 {
 		t.Fatalf("variation after compaction = %v, want 2", v[CEVar1Hour])
 	}
-	if len(tr.history) > 10 {
-		t.Fatalf("history not compacted: %d entries", len(tr.history))
+	if tr.HistoryLen() > 10 {
+		t.Fatalf("history not compacted: %d entries", tr.HistoryLen())
+	}
+}
+
+func TestResetReusesStorage(t *testing.T) {
+	tr := NewTracker()
+	for i := 0; i < 200; i++ {
+		tr.Observe(tick(time.Duration(i)*time.Minute,
+			ceEvent(1, i%4, i%16, i*7%4096, i%1024, i%8)), 0)
+	}
+	// Warm up one reset so lazily grown buffers exist, then resets must not
+	// allocate: Reset runs once per node per training episode.
+	tr.Reset()
+	allocs := testing.AllocsPerRun(20, tr.Reset)
+	if allocs != 0 {
+		t.Fatalf("Reset allocates %v times per run, want 0", allocs)
+	}
+	v := tr.Observe(tick(time.Hour), 0)
+	for i := 0; i < UECost; i++ {
+		if v[i] != 0 {
+			t.Fatalf("state leaked through Reset: feature %d = %v", i, v[i])
+		}
+	}
+}
+
+func TestObserveZeroAllocSteadyState(t *testing.T) {
+	tr := NewTracker()
+	tk := tick(0, ceEvent(3, 1, 3, 900, 12, 8))
+	at := time.Duration(0)
+	advance := func() {
+		at += time.Minute
+		tk.Time = t0.Add(at)
+		tk.Events[0].Time = tk.Time
+	}
+	// Warm up the ring and bitsets.
+	for i := 0; i < 300; i++ {
+		advance()
+		tr.Observe(tk, 100)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		advance()
+		tr.Observe(tk, 100)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Observe allocates %v times per run, want 0", allocs)
+	}
+}
+
+func TestSpreadSetOverflow(t *testing.T) {
+	tr := NewTracker()
+	// Rows far beyond the bitset range must still count distinctly.
+	v := tr.Observe(tick(0,
+		ceEvent(1, 0, 0, maxSpreadBits+5, 0, 0),
+		ceEvent(1, 0, 0, maxSpreadBits+9, 0, 0),
+		ceEvent(1, 0, 0, maxSpreadBits+5, 0, 0),
+		ceEvent(1, 0, 0, 3, 0, 0),
+	), 0)
+	if v[RowsWithCEs] != 3 {
+		t.Fatalf("overflow rows counted %v, want 3", v[RowsWithCEs])
+	}
+	tr.Reset()
+	v = tr.Observe(tick(time.Minute, ceEvent(1, 0, 0, maxSpreadBits+5, 0, 0)), 0)
+	if v[RowsWithCEs] != 1 {
+		t.Fatalf("overflow rows after reset counted %v, want 1", v[RowsWithCEs])
+	}
+}
+
+func TestNormalizedIntoMatchesNormalized(t *testing.T) {
+	var v Vector
+	for i := range v {
+		v[i] = float64(i*i) * 1.7
+	}
+	var buf [Dim]float64
+	got := v.NormalizedInto(buf[:])
+	want := v.Normalized()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NormalizedInto[%d] = %v, want %v", i, got[i], want[i])
+		}
 	}
 }
 

@@ -1,0 +1,214 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+)
+
+// BatchScratch holds the flat, row-major intermediate activations for a
+// whole minibatch so batched forward and backward passes allocate nothing
+// in steady state. Layout: sample s of a width-w tensor lives at
+// [s*w : (s+1)*w]. A BatchScratch is sized for a maximum batch at
+// construction and can serve any smaller batch.
+type BatchScratch struct {
+	batch int
+	// acts[0] is the input [B*Inputs]; acts[i+1] is the post-ReLU output
+	// of hidden layer i [B*hidden[i]].
+	acts         [][]float64
+	vOut         []float64 // dueling value head [B]
+	aOut         []float64 // dueling advantage head [B*Outputs]
+	q            []float64 // network output [B*Outputs]
+	dA           []float64 // advantage-head gradient [B*Outputs]
+	dV           []float64 // value-head gradient [B]
+	dBufA, dBufB []float64 // ping-pong gradient buffers [B*maxWidth]
+}
+
+// Batch reports the maximum batch size the scratch was sized for.
+func (s *BatchScratch) Batch() int { return s.batch }
+
+// NewBatchScratch allocates batched scratch space for up to batch samples.
+func (n *Network) NewBatchScratch(batch int) *BatchScratch {
+	if batch <= 0 {
+		panic(fmt.Sprintf("nn: batch size must be positive, got %d", batch))
+	}
+	s := &BatchScratch{batch: batch}
+	s.acts = append(s.acts, make([]float64, batch*n.cfg.Inputs))
+	maxw := n.cfg.Inputs
+	for _, d := range n.hidden {
+		s.acts = append(s.acts, make([]float64, batch*d.out))
+		if d.out > maxw {
+			maxw = d.out
+		}
+	}
+	if n.cfg.Outputs > maxw {
+		maxw = n.cfg.Outputs
+	}
+	s.vOut = make([]float64, batch)
+	s.aOut = make([]float64, batch*n.cfg.Outputs)
+	s.q = make([]float64, batch*n.cfg.Outputs)
+	s.dA = make([]float64, batch*n.cfg.Outputs)
+	s.dV = make([]float64, batch)
+	s.dBufA = make([]float64, batch*maxw)
+	s.dBufB = make([]float64, batch*maxw)
+	return s
+}
+
+// forwardBatch computes y[s] = W x[s] + b for nb samples, optionally fusing
+// the ReLU activation. The loop is output-major so each weight row is
+// streamed from memory once per batch instead of once per sample — the
+// GEMM-style blocking that makes batched DQN training cheap. Per-sample
+// arithmetic matches dense.forward exactly (shared dot kernel).
+func (d *dense) forwardBatch(x, y []float64, nb int, relu bool) {
+	for o := 0; o < d.out; o++ {
+		row := d.w.W[o*d.in : (o+1)*d.in]
+		bias := d.b.W[o]
+		for s := 0; s < nb; s++ {
+			sum := bias + dot(row, x[s*d.in:(s+1)*d.in])
+			if relu && sum < 0 {
+				sum = 0
+			}
+			y[s*d.out+o] = sum
+		}
+	}
+}
+
+// backwardBatch accumulates parameter gradients over nb samples and, when
+// dx is non-nil, writes per-sample input gradients. Accumulation order per
+// weight is sample-ascending, identical to nb sequential dense.backward
+// calls, so batched training reproduces serial gradients bit for bit.
+func (d *dense) backwardBatch(x, dy, dx []float64, nb int) {
+	for o := 0; o < d.out; o++ {
+		grow := d.w.G[o*d.in : (o+1)*d.in]
+		gb := d.b.G[o]
+		for s := 0; s < nb; s++ {
+			g := dy[s*d.out+o]
+			if g == 0 {
+				continue
+			}
+			gb += g
+			axpy(g, x[s*d.in:(s+1)*d.in], grow)
+		}
+		d.b.G[o] = gb
+	}
+	if dx != nil {
+		for s := 0; s < nb; s++ {
+			dxs := dx[s*d.in : (s+1)*d.in]
+			for i := range dxs {
+				dxs[i] = 0
+			}
+			for o := 0; o < d.out; o++ {
+				g := dy[s*d.out+o]
+				if g == 0 {
+					continue
+				}
+				axpy(g, d.w.W[o*d.in:(o+1)*d.in], dxs)
+			}
+		}
+	}
+}
+
+// ForwardBatchInto runs a batched forward pass over nb samples packed
+// row-major in xs (len nb*Inputs) and returns the flat output [nb*Outputs]
+// owned by s (valid until the next ForwardBatchInto on s). ReLU is fused
+// into each hidden layer's forward pass. Outputs are bit-identical to nb
+// independent ForwardInto calls.
+func (n *Network) ForwardBatchInto(s *BatchScratch, xs []float64, nb int) []float64 {
+	if nb <= 0 || nb > s.batch {
+		panic(fmt.Sprintf("nn: batch %d out of range (scratch holds %d)", nb, s.batch))
+	}
+	if len(xs) != nb*n.cfg.Inputs {
+		panic(fmt.Sprintf("nn: batched input size %d, want %d", len(xs), nb*n.cfg.Inputs))
+	}
+	copy(s.acts[0][:nb*n.cfg.Inputs], xs)
+	cur := s.acts[0]
+	for i, d := range n.hidden {
+		d.forwardBatch(cur, s.acts[i+1], nb, true)
+		cur = s.acts[i+1]
+	}
+	out := n.cfg.Outputs
+	if n.cfg.Dueling {
+		n.value.forwardBatch(cur, s.vOut, nb, false)
+		n.adv.forwardBatch(cur, s.aOut, nb, false)
+		for b := 0; b < nb; b++ {
+			aRow := s.aOut[b*out : (b+1)*out]
+			meanA := mathx.Mean(aRow)
+			v := s.vOut[b]
+			qRow := s.q[b*out : (b+1)*out]
+			for i := range qRow {
+				qRow[i] = v + aRow[i] - meanA
+			}
+		}
+	} else {
+		n.out.forwardBatch(cur, s.q, nb, false)
+	}
+	return s.q[:nb*out]
+}
+
+// BackwardBatch accumulates parameter gradients for the most recent
+// ForwardBatchInto on s, given dLoss/dOutput for every sample packed
+// row-major in dOut (len nb*Outputs). Gradient accumulation order matches
+// nb sequential Backward calls exactly, so a batched train step leaves the
+// same gradients as the serial loop.
+func (n *Network) BackwardBatch(s *BatchScratch, dOut []float64, nb int) {
+	if nb <= 0 || nb > s.batch {
+		panic(fmt.Sprintf("nn: batch %d out of range (scratch holds %d)", nb, s.batch))
+	}
+	out := n.cfg.Outputs
+	if len(dOut) != nb*out {
+		panic(fmt.Sprintf("nn: batched dOut size %d, want %d", len(dOut), nb*out))
+	}
+	nh := len(n.hidden)
+	width := n.cfg.Inputs
+	if nh > 0 {
+		width = n.hidden[nh-1].out
+	}
+	lastAct := s.acts[nh]
+	dHidden := s.dBufA[:nb*width]
+	if n.cfg.Dueling {
+		// Q_i = V + A_i - mean(A): dV = sum_i dQ_i; dA_j = dQ_j - mean(dQ).
+		for b := 0; b < nb; b++ {
+			row := dOut[b*out : (b+1)*out]
+			sum := 0.0
+			for _, g := range row {
+				sum += g
+			}
+			meanG := sum / float64(out)
+			for i, g := range row {
+				s.dA[b*out+i] = g - meanG
+			}
+			s.dV[b] = sum
+		}
+		n.value.backwardBatch(lastAct, s.dV[:nb], dHidden, nb)
+		tmp := s.dBufB[:nb*width]
+		n.adv.backwardBatch(lastAct, s.dA[:nb*out], tmp, nb)
+		for i := range dHidden {
+			dHidden[i] += tmp[i]
+		}
+	} else {
+		n.out.backwardBatch(lastAct, dOut, dHidden, nb)
+	}
+	// Walk hidden layers in reverse, ping-ponging the gradient buffers.
+	dy := dHidden    // backed by s.dBufA
+	spare := s.dBufB // full-capacity spare (head tmp already consumed)
+	for i := nh - 1; i >= 0; i-- {
+		h := n.hidden[i]
+		// ReLU derivative: the post-activation is zero exactly where the
+		// pre-activation was <= 0, so the stored activation is the mask.
+		act := s.acts[i+1][:nb*h.out]
+		for j := range dy {
+			if act[j] <= 0 {
+				dy[j] = 0
+			}
+		}
+		var dx []float64
+		if i > 0 {
+			dx = spare[:nb*h.in]
+		}
+		h.backwardBatch(s.acts[i][:nb*h.in], dy, dx, nb)
+		if dx != nil {
+			spare = dy[:cap(dy)]
+			dy = dx
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// batchInputs builds nb deterministic pseudo-random input vectors.
+func batchInputs(rng *mathx.RNG, nb, dim int) []float64 {
+	xs := make([]float64, nb*dim)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	return xs
+}
+
+// TestForwardBatchMatchesSingle: ForwardBatchInto must agree with N
+// independent ForwardInto calls to within 1e-12 (the shared kernels make
+// them bit-identical, so the tolerance is exact-zero in practice).
+func TestForwardBatchMatchesSingle(t *testing.T) {
+	for _, cfg := range []Config{
+		{Inputs: 15, Hidden: []int{32, 16}, Outputs: 2, Dueling: true, Seed: 3},
+		{Inputs: 15, Hidden: []int{64, 32}, Outputs: 2, Dueling: false, Seed: 4},
+		{Inputs: 7, Hidden: nil, Outputs: 3, Dueling: true, Seed: 5},
+		{Inputs: 9, Hidden: []int{8}, Outputs: 4, Dueling: false, Seed: 6},
+	} {
+		net := New(cfg)
+		const nb = 13
+		rng := mathx.NewRNG(99)
+		xs := batchInputs(rng, nb, cfg.Inputs)
+
+		bs := net.NewBatchScratch(nb)
+		got := net.ForwardBatchInto(bs, xs, nb)
+
+		scr := net.NewScratch()
+		for s := 0; s < nb; s++ {
+			want := net.ForwardInto(scr, xs[s*cfg.Inputs:(s+1)*cfg.Inputs])
+			for o, w := range want {
+				if d := math.Abs(got[s*cfg.Outputs+o] - w); d > 1e-12 {
+					t.Fatalf("cfg %+v sample %d output %d: batch %v vs single %v (|Δ|=%g)",
+						cfg, s, o, got[s*cfg.Outputs+o], w, d)
+				}
+			}
+		}
+	}
+}
+
+// TestBackwardBatchMatchesSerial: one BackwardBatch over a minibatch must
+// leave gradients identical (bit for bit) to the serial per-sample
+// forward+backward accumulation loop.
+func TestBackwardBatchMatchesSerial(t *testing.T) {
+	for _, cfg := range []Config{
+		{Inputs: 15, Hidden: []int{32, 16}, Outputs: 2, Dueling: true, Seed: 7},
+		{Inputs: 15, Hidden: []int{24, 12}, Outputs: 2, Dueling: false, Seed: 8},
+		{Inputs: 6, Hidden: nil, Outputs: 3, Dueling: true, Seed: 9},
+	} {
+		const nb = 11
+		rng := mathx.NewRNG(123)
+		xs := batchInputs(rng, nb, cfg.Inputs)
+		dOut := batchInputs(rng, nb, cfg.Outputs)
+
+		serial := New(cfg)
+		batched := New(cfg)
+
+		// Serial reference: per-sample forward + backward accumulation.
+		scr := serial.NewScratch()
+		serial.ZeroGrad()
+		for s := 0; s < nb; s++ {
+			serial.ForwardInto(scr, xs[s*cfg.Inputs:(s+1)*cfg.Inputs])
+			serial.Backward(scr, dOut[s*cfg.Outputs:(s+1)*cfg.Outputs])
+		}
+
+		bs := batched.NewBatchScratch(nb)
+		batched.ZeroGrad()
+		batched.ForwardBatchInto(bs, xs, nb)
+		batched.BackwardBatch(bs, dOut, nb)
+
+		sp, bp := serial.Params(), batched.Params()
+		for pi := range sp {
+			for gi := range sp[pi].G {
+				if sp[pi].G[gi] != bp[pi].G[gi] {
+					t.Fatalf("cfg %+v param %d grad %d: batched %v != serial %v",
+						cfg, pi, gi, bp[pi].G[gi], sp[pi].G[gi])
+				}
+			}
+		}
+	}
+}
+
+// TestForwardBatchPartial: a scratch sized for B serves any smaller batch.
+func TestForwardBatchPartial(t *testing.T) {
+	cfg := Config{Inputs: 5, Hidden: []int{8}, Outputs: 2, Dueling: true, Seed: 2}
+	net := New(cfg)
+	bs := net.NewBatchScratch(32)
+	rng := mathx.NewRNG(5)
+	xs := batchInputs(rng, 3, cfg.Inputs)
+	got := net.ForwardBatchInto(bs, xs, 3)
+	if len(got) != 3*cfg.Outputs {
+		t.Fatalf("partial batch output len %d, want %d", len(got), 3*cfg.Outputs)
+	}
+	scr := net.NewScratch()
+	want := net.ForwardInto(scr, xs[:cfg.Inputs])
+	for o := range want {
+		if got[o] != want[o] {
+			t.Fatalf("partial batch output %d: %v != %v", o, got[o], want[o])
+		}
+	}
+}
+
+// TestForwardBatchZeroAlloc: steady-state batched forward+backward must not
+// allocate.
+func TestForwardBatchZeroAlloc(t *testing.T) {
+	cfg := Config{Inputs: 15, Hidden: []int{32, 16}, Outputs: 2, Dueling: true, Seed: 1}
+	net := New(cfg)
+	const nb = 8
+	bs := net.NewBatchScratch(nb)
+	rng := mathx.NewRNG(7)
+	xs := batchInputs(rng, nb, cfg.Inputs)
+	dOut := batchInputs(rng, nb, cfg.Outputs)
+	allocs := testing.AllocsPerRun(50, func() {
+		net.ForwardBatchInto(bs, xs, nb)
+		net.BackwardBatch(bs, dOut, nb)
+	})
+	if allocs != 0 {
+		t.Fatalf("batched forward+backward allocates %v times per run, want 0", allocs)
+	}
+}

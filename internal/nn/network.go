@@ -78,14 +78,44 @@ func newDense(in, out int, rng *mathx.RNG) *dense {
 	return d
 }
 
+// dot computes the inner product of a and b (len(b) >= len(a)) with a
+// 4-lane unrolled accumulation. Every forward pass — single-sample and
+// batched — funnels through this one kernel, so the two paths produce
+// bit-identical outputs.
+func dot(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// axpy accumulates y += alpha*x. Shared by the serial and batched backward
+// passes so gradient accumulation is bit-identical between them.
+func axpy(alpha float64, x, y []float64) {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
 func (d *dense) forward(x, y []float64) {
 	for o := 0; o < d.out; o++ {
-		sum := d.b.W[o]
 		row := d.w.W[o*d.in : (o+1)*d.in]
-		for i, xi := range x {
-			sum += row[i] * xi
-		}
-		y[o] = sum
+		y[o] = d.b.W[o] + dot(row, x)
 	}
 }
 
@@ -98,10 +128,7 @@ func (d *dense) backward(x, dy, dx []float64) {
 		if g == 0 {
 			continue
 		}
-		row := d.w.G[o*d.in : (o+1)*d.in]
-		for i, xi := range x {
-			row[i] += g * xi
-		}
+		axpy(g, x, d.w.G[o*d.in:(o+1)*d.in])
 		d.b.G[o] += g
 	}
 	if dx != nil {
@@ -113,10 +140,7 @@ func (d *dense) backward(x, dy, dx []float64) {
 			if g == 0 {
 				continue
 			}
-			row := d.w.W[o*d.in : (o+1)*d.in]
-			for i := range dx {
-				dx[i] += g * row[i]
-			}
+			axpy(g, d.w.W[o*d.in:(o+1)*d.in], dx)
 		}
 	}
 }
@@ -132,6 +156,9 @@ type Network struct {
 	out *dense
 	// Dueling heads from the last hidden layer.
 	value, adv *dense
+	// params caches the stable parameter order so the per-train-step
+	// Params calls (ZeroGrad, gradient clip, optimizer) allocate nothing.
+	params []*Param
 }
 
 // New builds a network from cfg, panicking on invalid configuration (the
@@ -153,25 +180,24 @@ func New(cfg Config) *Network {
 	} else {
 		n.out = newDense(prev, cfg.Outputs, rng)
 	}
+	for _, d := range n.hidden {
+		n.params = append(n.params, d.w, d.b)
+	}
+	if cfg.Dueling {
+		n.params = append(n.params, n.value.w, n.value.b, n.adv.w, n.adv.b)
+	} else {
+		n.params = append(n.params, n.out.w, n.out.b)
+	}
 	return n
 }
 
 // Config returns the configuration the network was built with.
 func (n *Network) Config() Config { return n.cfg }
 
-// Params returns all trainable parameters in a stable order.
-func (n *Network) Params() []*Param {
-	var ps []*Param
-	for _, d := range n.hidden {
-		ps = append(ps, d.w, d.b)
-	}
-	if n.cfg.Dueling {
-		ps = append(ps, n.value.w, n.value.b, n.adv.w, n.adv.b)
-	} else {
-		ps = append(ps, n.out.w, n.out.b)
-	}
-	return ps
-}
+// Params returns all trainable parameters in a stable order. The slice is
+// cached and owned by the network; callers must not append to or reorder
+// it.
+func (n *Network) Params() []*Param { return n.params }
 
 // ZeroGrad clears all accumulated gradients.
 func (n *Network) ZeroGrad() {

@@ -40,6 +40,22 @@ type Scorer interface {
 	Score(ctx Context) float64
 }
 
+// ConcurrentDecider is an optional Decider extension marking it safe for
+// concurrent Decide calls. The parallel replay engine (evalx.Replay) fans
+// decisions out across per-node workers only for deciders that report
+// true; everything else replays serially, which is always correct.
+type ConcurrentDecider interface {
+	Decider
+	ConcurrentSafe() bool
+}
+
+// IsConcurrentSafe reports whether d declares itself safe for concurrent
+// Decide calls.
+func IsConcurrentSafe(d Decider) bool {
+	cd, ok := d.(ConcurrentDecider)
+	return ok && cd.ConcurrentSafe()
+}
+
 // Never never mitigates: maximum UE cost, zero mitigation cost.
 type Never struct{}
 
@@ -48,6 +64,9 @@ func (Never) Name() string { return "Never-mitigate" }
 
 // Decide implements Decider.
 func (Never) Decide(Context) bool { return false }
+
+// ConcurrentSafe implements ConcurrentDecider.
+func (Never) ConcurrentSafe() bool { return true }
 
 // Always mitigates on every event in the error log: minimum UE cost among
 // event-triggered policies, maximum mitigation cost.
@@ -58,6 +77,9 @@ func (Always) Name() string { return "Always-mitigate" }
 
 // Decide implements Decider.
 func (Always) Decide(Context) bool { return true }
+
+// ConcurrentSafe implements ConcurrentDecider.
+func (Always) ConcurrentSafe() bool { return true }
 
 // RFThreshold is the SC20-RF policy: mitigate when the random-forest score
 // exceeds an externally supplied threshold.
@@ -86,6 +108,10 @@ func (p *RFThreshold) Score(ctx Context) float64 {
 	return p.Forest.PredictProb(ctx.Features.Predictor()) - p.Threshold
 }
 
+// ConcurrentSafe implements ConcurrentDecider: forest prediction is a pure
+// read of the trained trees.
+func (p *RFThreshold) ConcurrentSafe() bool { return true }
+
 // MyopicRF extends SC20-RF with cost-awareness (§4.2): mitigate when the
 // expected UE cost — RF score times current potential UE cost — exceeds
 // the mitigation cost. As the paper shows, the RF score is not a reliable
@@ -113,7 +139,12 @@ func (p *MyopicRF) Score(ctx Context) float64 {
 	return prob*ctx.Features[features.UECost] - p.MitigationCostNodeHours
 }
 
-// RL wraps a trained (frozen) agent policy.
+// ConcurrentSafe implements ConcurrentDecider.
+func (p *MyopicRF) ConcurrentSafe() bool { return true }
+
+// RL wraps a trained (frozen) agent policy. Decide normalizes into pooled
+// scratch (features.WithNormalized), so the replay hot path allocates
+// nothing.
 type RL struct {
 	Policy rl.Policy
 	// Label optionally overrides the report name.
@@ -130,7 +161,20 @@ func (p *RL) Name() string {
 
 // Decide implements Decider.
 func (p *RL) Decide(ctx Context) bool {
-	return p.Policy.Action(ctx.Features.Normalized()) == 1
+	act := 0
+	ctx.Features.WithNormalized(func(norm []float64) {
+		act = p.Policy.Action(norm)
+	})
+	return act == 1
+}
+
+// ConcurrentSafe implements ConcurrentDecider: true when the wrapped
+// policy declares itself concurrency-safe (e.g. rl.SharedQPolicy).
+func (p *RL) ConcurrentSafe() bool {
+	if cs, ok := p.Policy.(interface{ ConcurrentSafe() bool }); ok {
+		return cs.ConcurrentSafe()
+	}
+	return false
 }
 
 // OracleKey identifies a decision point.
@@ -164,6 +208,9 @@ func (o *Oracle) Decide(ctx Context) bool {
 // Len reports the number of oracle mitigation points.
 func (o *Oracle) Len() int { return len(o.points) }
 
+// ConcurrentSafe implements ConcurrentDecider: the point set is read-only.
+func (o *Oracle) ConcurrentSafe() bool { return true }
+
 // FixedProb is a trivial decider mitigating when a fixed feature exceeds a
 // bound; used in tests and examples as a stand-in policy.
 type FixedProb struct {
@@ -176,3 +223,6 @@ func (p *FixedProb) Name() string { return fmt.Sprintf("Fixed[%d>%g]", p.Feature
 
 // Decide implements Decider.
 func (p *FixedProb) Decide(ctx Context) bool { return ctx.Features[p.Feature] > p.Bound }
+
+// ConcurrentSafe implements ConcurrentDecider.
+func (p *FixedProb) ConcurrentSafe() bool { return true }

@@ -139,6 +139,23 @@ type Agent struct {
 	scrTgt  *nn.Scratch // target-net scratch
 	scrNext *nn.Scratch // second online scratch for double-DQN selection
 	dOut    []float64
+
+	// Batched-training state: a whole PER minibatch runs through the
+	// networks as one GEMM-style pass, with all intermediate buffers
+	// preallocated so a train step allocates nothing.
+	bs, bsTgt, bsNext *nn.BatchScratch
+	xs, xsNext        []float64 // gathered states [B*StateLen]
+	dOutB             []float64 // batched output gradient [B*NumActions]
+	nextVal           []float64 // bootstrap values [B]
+	tdErrs            []float64
+	sampTrs           []Transition
+	sampHandles       []int
+	sampWs            []float64
+
+	// serialTrain forces the legacy one-transition-at-a-time training loop;
+	// it exists only so tests can verify the batched path reproduces the
+	// serial gradients exactly.
+	serialTrain bool
 }
 
 // NewAgent builds an agent with the given replay buffer (pass
@@ -168,7 +185,25 @@ func NewAgent(cfg AgentConfig, replay Replay) *Agent {
 	a.scrNext = a.online.NewScratch()
 	a.scrTgt = a.target.NewScratch()
 	a.dOut = make([]float64, cfg.NumActions)
+	a.initBatchState()
 	return a
+}
+
+// initBatchState (re)allocates the batched-training buffers for the current
+// networks.
+func (a *Agent) initBatchState() {
+	b := a.cfg.BatchSize
+	a.bs = a.online.NewBatchScratch(b)
+	a.bsNext = a.online.NewBatchScratch(b)
+	a.bsTgt = a.target.NewBatchScratch(b)
+	a.xs = make([]float64, b*a.cfg.StateLen)
+	a.xsNext = make([]float64, b*a.cfg.StateLen)
+	a.dOutB = make([]float64, b*a.cfg.NumActions)
+	a.nextVal = make([]float64, b)
+	a.tdErrs = make([]float64, b)
+	a.sampTrs = make([]Transition, b)
+	a.sampHandles = make([]int, b)
+	a.sampWs = make([]float64, b)
 }
 
 // Config returns the agent's configuration (with defaults applied).
@@ -192,6 +227,7 @@ func (a *Agent) SetOnline(net *nn.Network) {
 	a.scr = a.online.NewScratch()
 	a.scrNext = a.online.NewScratch()
 	a.scrTgt = a.target.NewScratch()
+	a.initBatchState()
 }
 
 // Steps reports the number of environment steps observed.
@@ -240,15 +276,94 @@ func (a *Agent) Observe(tr Transition) (loss float64, trained bool) {
 // trainBatch samples a mini-batch and takes one optimization step,
 // returning the mean loss. TD targets follow double DQN when configured:
 // y = r + gamma * Q_target(s', argmax_a Q_online(s', a)).
+//
+// The whole batch runs through the networks as three batched forward
+// passes (online/target on next states, online on current states), a
+// vectorized TD-target computation, and one batched backward + Adam step.
+// The batched kernels accumulate in the same order as the serial loop, so
+// gradients — and therefore training trajectories — are bit-identical to
+// the one-transition-at-a-time implementation (see trainBatchSerial).
 func (a *Agent) trainBatch() float64 {
-	trs, handles, ws := a.replay.Sample(a.rng, a.cfg.BatchSize)
-	if len(trs) == 0 {
+	if a.serialTrain {
+		return a.trainBatchSerial()
+	}
+	n := a.replay.SampleInto(a.rng, a.sampTrs, a.sampHandles, a.sampWs)
+	if n == 0 {
 		return 0
 	}
+	L := a.cfg.StateLen
+	A := a.cfg.NumActions
+	trs := a.sampTrs[:n]
+	anyLive := false
+	for i := range trs {
+		copy(a.xs[i*L:(i+1)*L], trs[i].S)
+		if !trs[i].Done {
+			copy(a.xsNext[i*L:(i+1)*L], trs[i].NextS)
+			anyLive = true
+		}
+	}
+	a.online.ZeroGrad()
+	// Bootstrap values for non-terminal transitions. Terminal rows hold
+	// stale buffer contents; their outputs are computed but never read.
+	if anyLive {
+		qTgt := a.target.ForwardBatchInto(a.bsTgt, a.xsNext[:n*L], n)
+		if a.cfg.DoubleDQN {
+			qNext := a.online.ForwardBatchInto(a.bsNext, a.xsNext[:n*L], n)
+			for i := range trs {
+				if trs[i].Done {
+					continue
+				}
+				best := mathx.ArgMax(qNext[i*A : (i+1)*A])
+				a.nextVal[i] = qTgt[i*A+best]
+			}
+		} else {
+			for i := range trs {
+				if trs[i].Done {
+					continue
+				}
+				row := qTgt[i*A : (i+1)*A]
+				a.nextVal[i] = row[mathx.ArgMax(row)]
+			}
+		}
+	}
+	q := a.online.ForwardBatchInto(a.bs, a.xs[:n*L], n)
+	dOut := a.dOutB[:n*A]
+	for i := range dOut {
+		dOut[i] = 0
+	}
+	totalLoss := 0.0
+	for i := range trs {
+		target := trs[i].R
+		if !trs[i].Done {
+			target += a.cfg.Gamma * a.nextVal[i]
+		}
+		pred := q[i*A+trs[i].A]
+		loss, dPred := nn.HuberLoss(pred, target, a.cfg.HuberDelta)
+		a.tdErrs[i] = pred - target
+		w := a.sampWs[i] / float64(n)
+		totalLoss += loss * a.sampWs[i]
+		dOut[i*A+trs[i].A] = dPred * w
+	}
+	a.online.BackwardBatch(a.bs, dOut, n)
+	nn.ClipGradNorm(a.online.Params(), a.cfg.GradClip)
+	a.opt.Step(a.online.Params())
+	a.replay.UpdatePriorities(a.sampHandles[:n], a.tdErrs[:n])
+	return totalLoss / float64(n)
+}
+
+// trainBatchSerial is the reference one-transition-at-a-time training loop
+// the batched path is verified against. It consumes the same RNG stream and
+// produces the same gradients as trainBatch.
+func (a *Agent) trainBatchSerial() float64 {
+	n := a.replay.SampleInto(a.rng, a.sampTrs, a.sampHandles, a.sampWs)
+	if n == 0 {
+		return 0
+	}
+	trs, ws := a.sampTrs[:n], a.sampWs[:n]
 	a.online.ZeroGrad()
 	totalLoss := 0.0
-	tdErrs := make([]float64, len(trs))
-	for i, tr := range trs {
+	for i := range trs {
+		tr := trs[i]
 		target := tr.R
 		if !tr.Done {
 			var next float64
@@ -266,8 +381,8 @@ func (a *Agent) trainBatch() float64 {
 		q := a.online.ForwardInto(a.scr, tr.S)
 		pred := q[tr.A]
 		loss, dPred := nn.HuberLoss(pred, target, a.cfg.HuberDelta)
-		tdErrs[i] = pred - target
-		w := ws[i] / float64(len(trs))
+		a.tdErrs[i] = pred - target
+		w := ws[i] / float64(n)
 		totalLoss += loss * ws[i]
 		for j := range a.dOut {
 			a.dOut[j] = 0
@@ -277,8 +392,8 @@ func (a *Agent) trainBatch() float64 {
 	}
 	nn.ClipGradNorm(a.online.Params(), a.cfg.GradClip)
 	a.opt.Step(a.online.Params())
-	a.replay.UpdatePriorities(handles, tdErrs)
-	return totalLoss / float64(len(trs))
+	a.replay.UpdatePriorities(a.sampHandles[:n], a.tdErrs[:n])
+	return totalLoss / float64(n)
 }
 
 // GreedyPolicy returns the deterministic policy induced by the current
@@ -294,11 +409,9 @@ func (a *Agent) GreedyPolicy() Policy {
 }
 
 // SnapshotPolicy returns a frozen greedy policy over a deep copy of the
-// current online network.
+// current online network. The returned policy is a *SharedQPolicy, so it is
+// safe for concurrent use (the parallel replay engine calls Decide from
+// many workers at once).
 func (a *Agent) SnapshotPolicy() Policy {
-	net := a.online.Clone()
-	scr := net.NewScratch()
-	return PolicyFunc(func(state []float64) int {
-		return mathx.ArgMax(net.ForwardInto(scr, state))
-	})
+	return NewSharedQPolicy(a.online.Clone())
 }

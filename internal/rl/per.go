@@ -93,26 +93,33 @@ func (p *PrioritizedReplay) beta() float64 {
 // uniformly within each, which lowers sample variance versus independent
 // draws.
 func (p *PrioritizedReplay) Sample(rng *mathx.RNG, n int) ([]Transition, []int, []float64) {
-	if p.size == 0 {
+	trs := make([]Transition, n)
+	handles := make([]int, n)
+	ws := make([]float64, n)
+	if p.SampleInto(rng, trs, handles, ws) == 0 {
 		return nil, nil, nil
 	}
+	return trs, handles, ws
+}
+
+// SampleInto implements Replay without allocating, using the same
+// stratified draws (and the same RNG stream) as Sample.
+func (p *PrioritizedReplay) SampleInto(rng *mathx.RNG, trs []Transition, handles []int, ws []float64) int {
+	if p.size == 0 {
+		return 0
+	}
+	n := len(trs)
 	total := p.tree.total()
 	if total <= 0 {
 		// Degenerate: all priorities zero; fall back to uniform.
-		trs := make([]Transition, n)
-		handles := make([]int, n)
-		ws := make([]float64, n)
 		for i := range trs {
 			h := rng.Intn(p.size)
 			trs[i], handles[i], ws[i] = p.buf[h], h, 1
 		}
-		return trs, handles, ws
+		return n
 	}
 	beta := p.beta()
 	p.samples++
-	trs := make([]Transition, n)
-	handles := make([]int, n)
-	ws := make([]float64, n)
 	seg := total / float64(n)
 	maxW := 0.0
 	for i := 0; i < n; i++ {
@@ -141,7 +148,7 @@ func (p *PrioritizedReplay) Sample(rng *mathx.RNG, n int) ([]Transition, []int, 
 			ws[i] /= maxW
 		}
 	}
-	return trs, handles, ws
+	return n
 }
 
 // UpdatePriorities implements Replay: priorities become

@@ -37,6 +37,18 @@ func (p *SharedQPolicy) QValues(out, state []float64) []float64 {
 	return out
 }
 
+// QValuesInto writes the Q-values for state into dst (len >= the network's
+// output count) without allocating. Safe for concurrent use.
+func (p *SharedQPolicy) QValuesInto(dst, state []float64) {
+	scr := p.pool.Get().(*nn.Scratch)
+	copy(dst, p.net.ForwardInto(scr, state))
+	p.pool.Put(scr)
+}
+
+// ConcurrentSafe marks the policy as safe for concurrent Decide/Action
+// calls; the parallel replay engine keys off it.
+func (p *SharedQPolicy) ConcurrentSafe() bool { return true }
+
 // Action implements Policy: argmax_a Q(state, a). Safe for concurrent use.
 func (p *SharedQPolicy) Action(state []float64) int {
 	scr := p.pool.Get().(*nn.Scratch)

@@ -34,6 +34,11 @@ type Replay interface {
 	// handles (for UpdatePriorities), and importance-sampling weights
 	// normalized to max 1.
 	Sample(rng *mathx.RNG, n int) ([]Transition, []int, []float64)
+	// SampleInto is the allocation-free form of Sample: it fills the
+	// caller-owned slices (all len(trs) long) and returns the number of
+	// transitions written (0 when the buffer is empty). It consumes the
+	// same RNG stream as Sample.
+	SampleInto(rng *mathx.RNG, trs []Transition, handles []int, ws []float64) int
 	// UpdatePriorities sets new priorities (typically |TD error|) for the
 	// sampled handles. Uniform buffers ignore it.
 	UpdatePriorities(handles []int, priorities []float64)
@@ -74,20 +79,28 @@ func (u *UniformReplay) Len() int {
 
 // Sample implements Replay. All importance weights are 1.
 func (u *UniformReplay) Sample(rng *mathx.RNG, n int) ([]Transition, []int, []float64) {
-	size := u.Len()
-	if size == 0 {
-		return nil, nil, nil
-	}
 	trs := make([]Transition, n)
 	handles := make([]int, n)
 	ws := make([]float64, n)
-	for i := 0; i < n; i++ {
+	if u.SampleInto(rng, trs, handles, ws) == 0 {
+		return nil, nil, nil
+	}
+	return trs, handles, ws
+}
+
+// SampleInto implements Replay without allocating.
+func (u *UniformReplay) SampleInto(rng *mathx.RNG, trs []Transition, handles []int, ws []float64) int {
+	size := u.Len()
+	if size == 0 {
+		return 0
+	}
+	for i := range trs {
 		idx := rng.Intn(size)
 		trs[i] = u.buf[idx]
 		handles[i] = idx
 		ws[i] = 1
 	}
-	return trs, handles, ws
+	return len(trs)
 }
 
 // UpdatePriorities implements Replay (no-op for uniform sampling).

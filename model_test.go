@@ -36,7 +36,7 @@ func sampleSnapshots() []Snapshot {
 	base := time.Date(2024, 5, 1, 0, 0, 0, 0, time.UTC)
 	var out []Snapshot
 	for i := 0; i < 16; i++ {
-		f := make([]float64, FeatureDim)
+		var f [FeatureDim]float64
 		f[features.CEsTotal] = float64(i * 100)
 		f[features.CEsSinceLastEvent] = float64(i)
 		f[features.RowsWithCEs] = float64(i % 5)

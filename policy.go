@@ -95,7 +95,7 @@ func (p *staticPolicy) Name() string     { return p.name }
 func (p *staticPolicy) Version() string  { return staticVersion(p.kind) }
 
 func (p *staticPolicy) Decide(s Snapshot) Decision {
-	return decisionFor(p, s, p.act, p.score, nil)
+	return decisionFor(p, s, p.act, p.score)
 }
 
 // ---- SC20-RF ----
@@ -128,7 +128,7 @@ func (p *rfPolicy) Decide(s Snapshot) Decision {
 	// One forest inference: the score's zero crossing IS the decision
 	// boundary (probability margin over the threshold).
 	score := p.d.Score(ctx)
-	return decisionFor(p, s, actionOf(score > 0), score, nil)
+	return decisionFor(p, s, actionOf(score > 0), score)
 }
 
 // ---- Myopic-RF ----
@@ -160,13 +160,14 @@ func (p *myopicPolicy) Decide(s Snapshot) Decision {
 	ctx := policies.Context{Node: s.Node, Time: s.Time, Features: s.vector()}
 	// One forest inference, as in rfPolicy: score > 0 is the decision.
 	score := p.d.Score(ctx)
-	return decisionFor(p, s, actionOf(score > 0), score, nil)
+	return decisionFor(p, s, actionOf(score > 0), score)
 }
 
 // ---- RL ----
 
-// rlPolicy serves the trained Q-network. Scratch space is pooled, so one
-// instance can serve all controller shards concurrently.
+// rlPolicy serves the trained Q-network. Network scratch and normalization
+// buffers are pooled, so one instance can serve all controller shards
+// concurrently and a Decide call allocates nothing in steady state.
 type rlPolicy struct {
 	q        *rl.SharedQPolicy
 	version  string
@@ -178,6 +179,11 @@ type rlPolicy struct {
 func newRLPolicy(net *nn.Network, info *TrainingInfo) (*rlPolicy, error) {
 	if got := net.Config().Inputs; got != features.Dim {
 		return nil, fmt.Errorf("uerl: model expects %d inputs, this build uses %d", got, features.Dim)
+	}
+	// Decide reads exactly [Q(none), Q(mitigate)]; reject any artifact with
+	// a different action count rather than silently comparing garbage.
+	if got := net.Config().Outputs; got != 2 {
+		return nil, fmt.Errorf("uerl: model has %d outputs, this serving layer decides over 2 actions", got)
 	}
 	version, err := networkVersion(PolicyRL, net)
 	if err != nil {
@@ -191,16 +197,18 @@ func (p *rlPolicy) Name() string     { return "RL" }
 func (p *rlPolicy) Version() string  { return p.version }
 
 func (p *rlPolicy) Decide(s Snapshot) Decision {
-	qv := p.q.QValues(make([]float64, 0, 2), s.vector().Normalized())
+	var qv [2]float64
+	s.vector().WithNormalized(func(norm []float64) {
+		p.q.QValuesInto(qv[:], norm)
+	})
 	act := ActionNone
-	if len(qv) >= 2 && qv[1] > qv[0] {
+	if qv[1] > qv[0] {
 		act = ActionMitigate
 	}
-	score := 0.0
-	if len(qv) >= 2 {
-		score = qv[1] - qv[0]
-	}
-	return decisionFor(p, s, act, score, qv)
+	d := decisionFor(p, s, act, qv[1]-qv[0])
+	d.QValues = qv
+	d.HasQ = true
+	return d
 }
 
 // ---- Oracle ----
@@ -221,7 +229,7 @@ func (p *oraclePolicy) Decide(s Snapshot) Decision {
 	if mit {
 		score = 1
 	}
-	return decisionFor(p, s, actionOf(mit), score, nil)
+	return decisionFor(p, s, actionOf(mit), score)
 }
 
 // ---- shared helpers ----
@@ -235,13 +243,12 @@ func actionOf(mitigate bool) Action {
 }
 
 // decisionFor assembles the Decision a policy returns from Decide.
-func decisionFor(p Policy, s Snapshot, act Action, score float64, qv []float64) Decision {
+func decisionFor(p Policy, s Snapshot, act Action, score float64) Decision {
 	return Decision{
 		Node:         s.Node,
 		Time:         s.Time,
 		Action:       act,
 		Score:        score,
-		QValues:      qv,
 		Features:     s.Features,
 		Policy:       p.Name(),
 		ModelVersion: p.Version(),
@@ -297,7 +304,24 @@ type policyDecider struct{ p Policy }
 func (d policyDecider) Name() string { return d.p.Name() }
 
 func (d policyDecider) Decide(ctx policies.Context) bool {
-	return d.p.Decide(Snapshot{Node: ctx.Node, Time: ctx.Time, Features: ctx.Features[:]}).Mitigate()
+	return d.p.Decide(Snapshot{Node: ctx.Node, Time: ctx.Time, Features: ctx.Features}).Mitigate()
+}
+
+// ConcurrentSafe implements policies.ConcurrentDecider. Every policy this
+// package constructs is safe for concurrent Decide calls, so the replay
+// engine may fan them out across workers. Custom Policy implementations
+// are only required to be concurrency-safe when served by a Controller,
+// so they replay serially unless they opt in via a
+// `ConcurrentSafe() bool` method.
+func (d policyDecider) ConcurrentSafe() bool {
+	switch d.p.(type) {
+	case *staticPolicy, *rfPolicy, *myopicPolicy, *rlPolicy, *oraclePolicy:
+		return true
+	}
+	if cs, ok := d.p.(interface{ ConcurrentSafe() bool }); ok {
+		return cs.ConcurrentSafe()
+	}
+	return false
 }
 
 // EvaluatePolicy replays one policy — built-in or custom — over the

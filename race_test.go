@@ -1,0 +1,8 @@
+//go:build race
+
+package uerl
+
+// raceEnabled reports that this test binary was built with -race. The
+// race detector's instrumentation makes sync.Pool fall back to allocating,
+// so allocation-count assertions are skipped under it.
+const raceEnabled = true

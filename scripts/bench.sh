@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# bench.sh — run the repository's hot-path benchmarks and record the
+# perf trajectory.
+#
+# Emits standard `go test -bench` output (benchstat-compatible: pipe two
+# runs' saved outputs into `benchstat old.txt new.txt`) and writes a
+# BENCH_<n>.json summary next to the repo root so successive PRs can
+# track ns/op and allocs/op over time.
+#
+# Usage:
+#   scripts/bench.sh                # default: 1s benchtime, 1 count
+#   BENCHTIME=3s COUNT=5 scripts/bench.sh
+#   BENCH_OUT=BENCH_3.json scripts/bench.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+COUNT="${COUNT:-1}"
+# Default to BENCH_<max+1>.json so a rerun never clobbers a previous PR's
+# committed snapshot and the trajectory stays ordered.
+if [ -z "${BENCH_OUT:-}" ]; then
+  max=0
+  for f in BENCH_*.json; do
+    [ -e "$f" ] || continue
+    n="${f#BENCH_}"
+    n="${n%.json}"
+    case "$n" in *[!0-9]*) continue ;; esac
+    [ "$n" -gt "$max" ] && max="$n"
+  done
+  BENCH_OUT="BENCH_$((max + 1)).json"
+fi
+FILTER="${FILTER:-BenchmarkNNForward$|BenchmarkNNForwardBatch$|BenchmarkNNTrainStep$|BenchmarkNNTrainStepBatched$|BenchmarkPERSample$|BenchmarkFeatureTracker$|BenchmarkReplayNever$|BenchmarkReplayNeverSerial$|BenchmarkControllerObserveEvent$|BenchmarkControllerObserveBatch$|BenchmarkControllerRecommendSerial$|BenchmarkControllerRecommendParallel$|BenchmarkFig3CostBenefit$}"
+
+txt="$(mktemp)"
+trap 'rm -f "$txt"' EXIT
+
+go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$txt"
+
+# Convert "BenchmarkX-8  N  T ns/op  B B/op  A allocs/op [extra metrics]"
+# lines into a JSON summary (last run of each benchmark wins).
+awk -v out="$BENCH_OUT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns[name] = $i
+        if ($(i+1) == "B/op")      bytes[name] = $i
+        if ($(i+1) == "allocs/op") allocs[name] = $i
+        if ($(i+1) == "ns/sample") persample[name] = $i
+        if ($(i+1) == "ns/event")  persample[name] = $i
+    }
+    if (!(name in order)) { order[name] = ++n; names[n] = name }
+}
+END {
+    printf "{\n" > out
+    for (i = 1; i <= n; i++) {
+        name = names[i]
+        printf "  \"%s\": {\"ns_per_op\": %s", name, ns[name] >> out
+        if (name in persample) printf ", \"ns_per_sample\": %s", persample[name] >> out
+        if (name in bytes)     printf ", \"bytes_per_op\": %s", bytes[name] >> out
+        if (name in allocs)    printf ", \"allocs_per_op\": %s", allocs[name] >> out
+        printf "}%s\n", (i < n ? "," : "") >> out
+    }
+    printf "}\n" >> out
+}
+' "$txt"
+
+echo "wrote $BENCH_OUT"

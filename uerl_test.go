@@ -170,11 +170,11 @@ func TestTrainAgentAndController(t *testing.T) {
 	// Recommendations must be callable for both nodes and for an unseen
 	// node without panicking; decisions themselves depend on training.
 	d := ctl.Recommend(1, base.Add(2*time.Hour), 10)
-	if d.Node != 1 || d.Policy == "" || d.ModelVersion == "" || len(d.QValues) != 2 {
+	if d.Node != 1 || d.Policy == "" || d.ModelVersion == "" || !d.HasQ {
 		t.Fatalf("decision missing bookkeeping: %+v", d)
 	}
-	if len(d.Features) != FeatureDim {
-		t.Fatalf("decision has %d features, want %d", len(d.Features), FeatureDim)
+	if d.Features == (Decision{}).Features {
+		t.Fatalf("decision carries no feature snapshot: %+v", d)
 	}
 	_ = ctl.Recommend(2, base.Add(2*time.Hour), 5000)
 	_ = ctl.Recommend(99, base, 1)
