@@ -1,12 +1,13 @@
 // Command uerleval runs the paper's cost–benefit evaluation (time-series
 // nested cross-validation over all §4.2 policies) on a synthetic world and
 // prints the node–hour totals. With -model it instead scores one saved
-// model artifact (see uerltrain) on the held-out tail of the log.
+// model artifact (see uerltrain) on the held-out tail of the log. With
+// -json the result is emitted as machine-readable JSON for scripting.
 //
 // Usage:
 //
 //	uerleval [-budget ci|default|paper] [-seed 1] [-mitcost 2]
-//	         [-manufacturer A|B|C] [-jobscale 1] [-model model.json]
+//	         [-manufacturer A|B|C] [-jobscale 1] [-model model.json] [-json]
 package main
 
 import (
@@ -15,7 +16,29 @@ import (
 	"os"
 
 	uerl "repro"
+	"repro/internal/cliio"
 )
+
+// jsonReport is the -json output shape shared by all uerleval modes.
+type jsonReport struct {
+	Budget  string  `json:"budget"`
+	Seed    int64   `json:"seed"`
+	MitCost float64 `json:"mitigation_cost_node_minutes"`
+	// Mode is "cv", "manufacturer", "jobscale" or "model".
+	Mode         string  `json:"mode"`
+	Manufacturer string  `json:"manufacturer,omitempty"`
+	JobScale     float64 `json:"job_scale,omitempty"`
+	// Model identifies a scored artifact (mode "model").
+	Model        string `json:"model,omitempty"`
+	ModelKind    string `json:"model_kind,omitempty"`
+	ModelVersion string `json:"model_version,omitempty"`
+	ModelParent  string `json:"model_parent,omitempty"`
+	// Costs are the per-policy outcomes.
+	Costs []uerl.PolicyCost `json:"costs"`
+	// SavingVsNever is 1 − best/never total cost, when both rows exist
+	// (the RL row for mode "cv", the scored model for mode "model").
+	SavingVsNever *float64 `json:"saving_vs_never,omitempty"`
+}
 
 func main() {
 	budget := flag.String("budget", "ci", "compute budget: ci, default or paper")
@@ -24,6 +47,7 @@ func main() {
 	manufacturer := flag.String("manufacturer", "", "evaluate one DRAM manufacturer partition (A, B or C)")
 	jobscale := flag.Float64("jobscale", 1, "job size scaling factor (§5.6)")
 	model := flag.String("model", "", "score a saved model artifact instead of running the full CV")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the text report")
 	flag.Parse()
 
 	b, err := uerl.ParseBudget(*budget)
@@ -34,23 +58,28 @@ func main() {
 		fatal(fmt.Errorf("-model cannot be combined with -manufacturer or -jobscale"))
 	}
 
-	fmt.Println("generating synthetic world...")
+	if !*jsonOut {
+		fmt.Println("generating synthetic world...")
+	}
 	sys := uerl.NewSystem(
 		uerl.WithBudget(b),
 		uerl.WithSeed(*seed),
 		uerl.WithMitigationCost(*mitcost),
 	)
+	out := jsonReport{Budget: b.String(), Seed: *seed, MitCost: *mitcost, Mode: "cv"}
 
 	if *model != "" {
-		evalModel(sys, *model)
+		evalModel(sys, *model, *jsonOut, out)
 		return
 	}
 
 	var rep uerl.Report
 	switch {
 	case *manufacturer != "":
+		out.Mode, out.Manufacturer = "manufacturer", *manufacturer
 		rep, err = sys.EvaluateManufacturer(*manufacturer)
 	case *jobscale != 1:
+		out.Mode, out.JobScale = "jobscale", *jobscale
 		rep, err = sys.EvaluateJobScale(*jobscale)
 	default:
 		rep = sys.Evaluate()
@@ -58,24 +87,37 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep.Render(os.Stdout)
 
+	out.Costs = rep.Costs
 	if never, ok := rep.Find("Never-mitigate"); ok {
 		if rl, ok := rep.Find("RL"); ok && never.TotalNodeHours > 0 {
 			saving := 1 - rl.TotalNodeHours/never.TotalNodeHours
-			fmt.Printf("\nRL reduces lost compute time by %.0f%% vs no mitigation\n", 100*saving)
+			out.SavingVsNever = &saving
 		}
+	}
+
+	if *jsonOut {
+		if err := cliio.WriteJSON(os.Stdout, out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	rep.Render(os.Stdout)
+	if out.SavingVsNever != nil {
+		fmt.Printf("\nRL reduces lost compute time by %.0f%% vs no mitigation\n", 100**out.SavingVsNever)
 	}
 }
 
 // evalModel scores one saved artifact against the Never baseline on the
 // held-out tail of the world's log.
-func evalModel(sys *uerl.System, path string) {
+func evalModel(sys *uerl.System, path string, jsonOut bool, out jsonReport) {
 	policy, err := uerl.LoadModelFile(path)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("loaded %s: kind=%s version=%s\n", path, policy.Kind(), policy.Version())
+	if !jsonOut {
+		fmt.Printf("loaded %s: kind=%s version=%s\n", path, policy.Kind(), policy.Version())
+	}
 
 	cost, err := sys.EvaluatePolicy(policy)
 	if err != nil {
@@ -85,14 +127,32 @@ func evalModel(sys *uerl.System, path string) {
 	if err != nil {
 		fatal(err)
 	}
+	var saving *float64
+	if baseline.TotalNodeHours > 0 {
+		s := 1 - cost.TotalNodeHours/baseline.TotalNodeHours
+		saving = &s
+	}
+
+	if jsonOut {
+		out.Mode = "model"
+		out.Model = path
+		out.ModelKind = string(policy.Kind())
+		out.ModelVersion = policy.Version()
+		out.ModelParent = uerl.ModelParent(policy)
+		out.Costs = []uerl.PolicyCost{baseline, cost}
+		out.SavingVsNever = saving
+		if err := cliio.WriteJSON(os.Stdout, out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	fmt.Printf("held-out tail (last 25%% of the log span):\n")
 	for _, c := range []uerl.PolicyCost{baseline, cost} {
 		fmt.Printf("  %-16s total=%9.1f  ue=%9.1f  mitigation=%8.1f  mitigations=%6d  recall=%3.0f%%\n",
 			c.Policy, c.TotalNodeHours, c.UENodeHours, c.MitigationNH, c.Mitigations, 100*c.Recall)
 	}
-	if baseline.TotalNodeHours > 0 {
-		fmt.Printf("\n%s reduces lost compute time by %.0f%% vs no mitigation\n",
-			cost.Policy, 100*(1-cost.TotalNodeHours/baseline.TotalNodeHours))
+	if saving != nil {
+		fmt.Printf("\n%s reduces lost compute time by %.0f%% vs no mitigation\n", cost.Policy, 100**saving)
 	}
 }
 

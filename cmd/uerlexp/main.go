@@ -1,10 +1,11 @@
 // Command uerlexp regenerates the paper's tables and figures from the
 // synthetic world: fig3, fig4, fig5, fig6, table2, fig7, the §2.1
-// calibration check, and the DESIGN.md ablations.
+// calibration check, and the DESIGN.md ablations. With -json the rendered
+// experiments are emitted as one machine-readable JSON document.
 //
 // Usage:
 //
-//	uerlexp [-budget ci|default|paper] [-seed 1] [experiment ...]
+//	uerlexp [-budget ci|default|paper] [-seed 1] [-json] [experiment ...]
 //
 // With no arguments it runs every experiment.
 package main
@@ -13,14 +14,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	uerl "repro"
+	"repro/internal/cliio"
 )
+
+// jsonExperiment is one experiment's entry in the -json output.
+type jsonExperiment struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	// Output is the experiment's rendered table, line by line.
+	Output []string `json:"output"`
+}
+
+// jsonReport is the -json document: the run configuration plus every
+// experiment in execution order (same encoder as uerleval -json).
+type jsonReport struct {
+	Budget      string           `json:"budget"`
+	Seed        int64            `json:"seed"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
 
 func main() {
 	budget := flag.String("budget", "ci", "compute budget: ci, default or paper")
 	seed := flag.Int64("seed", 1, "random seed")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the text tables")
 	flag.Parse()
 
 	b, err := uerl.ParseBudget(*budget)
@@ -33,16 +53,37 @@ func main() {
 		names = uerl.ExperimentNames()
 	}
 
-	fmt.Println("generating synthetic world...")
+	if !*jsonOut {
+		fmt.Println("generating synthetic world...")
+	}
 	sys := uerl.NewSystem(uerl.WithBudget(b), uerl.WithSeed(*seed))
 
+	report := jsonReport{Budget: b.String(), Seed: *seed}
 	for _, name := range names {
+		if *jsonOut {
+			var buf strings.Builder
+			start := time.Now()
+			if err := sys.RunExperiment(name, &buf); err != nil {
+				fatal(err)
+			}
+			report.Experiments = append(report.Experiments, jsonExperiment{
+				Name:    name,
+				Seconds: time.Since(start).Seconds(),
+				Output:  strings.Split(strings.TrimRight(buf.String(), "\n"), "\n"),
+			})
+			continue
+		}
 		fmt.Printf("\n=== %s ===\n", name)
 		start := time.Now()
 		if err := sys.RunExperiment(name, os.Stdout); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("(%s in %v)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonOut {
+		if err := cliio.WriteJSON(os.Stdout, report); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,243 @@
+// Command uerlserve demonstrates the online continual-learning serving
+// loop on a days-long fleet scenario: it synthesizes a MareNostrum-style
+// telemetry stream whose fault behaviour shifts mid-run (DIMM aging /
+// fault-mode change), serves it through a Controller wrapped in an
+// OnlineLearner, and reports the model lifecycle — drift detection,
+// incremental retraining on live experience, shadow evaluation of each
+// candidate against the incumbent, and the hot-swap promotions with
+// their model lineage.
+//
+// Usage:
+//
+//	uerlserve [-seed 1] [-nodes 64] [-days 30] [-drift-day 15]
+//	          [-drift-mult 6] [-policy always|never] [-model artifact.json]
+//	          [-cost 100] [-mitcost 2] [-drift-window 256] [-drift-threshold 8]
+//	          [-retrain-min 256] [-epoch-steps 64] [-shadow 128] [-shadow-ues 1]
+//	          [-save final.json] [-json]
+//
+// The whole run is deterministic for a fixed flag set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	uerl "repro"
+	"repro/internal/cliio"
+	"repro/internal/errlog"
+	"repro/internal/telemetry"
+)
+
+type scenario struct {
+	Seed      int64   `json:"seed"`
+	Nodes     int     `json:"nodes"`
+	Days      float64 `json:"days"`
+	DriftDay  float64 `json:"drift_day"`
+	DriftMult float64 `json:"drift_mult"`
+	Events    int     `json:"events"`
+	UEs       int     `json:"ues"`
+	Initial   string  `json:"initial_version"`
+}
+
+type jsonReport struct {
+	Scenario scenario              `json:"scenario"`
+	Events   []uerl.LifecycleEvent `json:"lifecycle_events"`
+	Stats    uerl.LearnerStats     `json:"stats"`
+	// Lineage is the served model's version chain, newest first, ending
+	// at the initial policy.
+	Lineage []string `json:"lineage"`
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed (stream and trainer)")
+	nodes := flag.Int("nodes", 64, "fleet size in nodes")
+	days := flag.Float64("days", 30, "scenario length in days")
+	driftDay := flag.Float64("drift-day", 15, "day the fault behaviour shifts (0 disables drift)")
+	driftMult := flag.Float64("drift-mult", 6, "CE rate/burst multiplier after the shift")
+	policy := flag.String("policy", "always", "initial policy: always or never")
+	model := flag.String("model", "", "initial model artifact (overrides -policy)")
+	cost := flag.Float64("cost", 100, "potential UE cost in node-hours (workload model)")
+	mitcost := flag.Float64("mitcost", 2, "mitigation cost in node-minutes")
+	driftWindow := flag.Int("drift-window", 256, "drift-detection window samples")
+	driftThreshold := flag.Float64("drift-threshold", 8, "drift z-score threshold")
+	retrainMin := flag.Int("retrain-min", 256, "minimum new transitions between retrains")
+	epochSteps := flag.Int("epoch-steps", 64, "gradient steps per retraining epoch")
+	shadow := flag.Int("shadow", 128, "shadow decisions required before promotion is judged")
+	shadowUEs := flag.Int("shadow-ues", 1, "realized UEs required in the shadow window before promotion is judged (0 judges on mitigation spend alone)")
+	save := flag.String("save", "", "save the final serving model artifact to this path")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the text log")
+	flag.Parse()
+
+	initial, err := initialPolicy(*policy, *model)
+	if err != nil {
+		fatal(err)
+	}
+
+	stream, ues := generateStream(*seed, *nodes, *days, *driftDay, *driftMult)
+	sc := scenario{
+		Seed: *seed, Nodes: *nodes, Days: *days, DriftDay: *driftDay, DriftMult: *driftMult,
+		Events: len(stream), UEs: ues, Initial: initial.Version(),
+	}
+	if !*jsonOut {
+		fmt.Printf("scenario: %d nodes, %.0f days, %d events (%d UEs), fault shift ×%.0f at day %.0f\n",
+			sc.Nodes, sc.Days, sc.Events, sc.UEs, sc.DriftMult, sc.DriftDay)
+		fmt.Printf("serving %s (%s)\n", initial.Name(), initial.Version())
+	}
+
+	ctl := uerl.NewController(initial)
+	learner := uerl.NewOnlineLearner(ctl,
+		uerl.WithLearnerSeed(*seed),
+		uerl.WithCostSource(uerl.ConstantCost(*cost)),
+		uerl.WithLearnerMitigationCost(*mitcost),
+		uerl.WithDriftDetection(*driftThreshold, *driftWindow),
+		uerl.WithRetraining(*retrainMin, *epochSteps),
+		uerl.WithShadowGate(*shadow, *shadowUEs),
+	)
+
+	var start time.Time
+	if len(stream) > 0 {
+		start = stream[0].Time
+	}
+	printed := 0
+	for _, e := range stream {
+		learner.Process(e)
+		if *jsonOut {
+			continue
+		}
+		for _, ev := range learner.Events()[printed:] {
+			fmt.Printf("[day %5.1f] %-7s %s", ev.Time.Sub(start).Hours()/24, ev.Kind, ev.Detail)
+			if ev.Kind != uerl.LifecycleDrift {
+				fmt.Printf(" (model %s)", ev.ModelVersion)
+			}
+			fmt.Println()
+			printed++
+		}
+	}
+
+	stats := learner.Stats()
+	lineage := lineageChain(initial.Version(), learner.Events())
+	if *save != "" {
+		if err := uerl.SaveModelFile(*save, ctl.Policy()); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *jsonOut {
+		if err := cliio.WriteJSON(os.Stdout, jsonReport{
+			Scenario: sc, Events: learner.Events(), Stats: stats, Lineage: lineage,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("\nfinal: generation %d, serving %s\n", stats.Generation, stats.ServingVersion)
+	fmt.Printf("decisions=%d ues=%d transitions=%d (dropped %d) epochs=%d\n",
+		stats.Decisions, stats.UEs, stats.Transitions, stats.DroppedTransitions, stats.Epochs)
+	fmt.Print("lineage:")
+	for i, v := range lineage {
+		if i > 0 {
+			fmt.Print(" <-")
+		}
+		fmt.Printf(" %s", v)
+	}
+	fmt.Println()
+	if *save != "" {
+		fmt.Printf("saved serving model to %s\n", *save)
+	}
+}
+
+// initialPolicy resolves the starting policy.
+func initialPolicy(kind, model string) (uerl.Policy, error) {
+	if model != "" {
+		return uerl.LoadModelFile(model)
+	}
+	switch kind {
+	case "always":
+		return uerl.AlwaysPolicy(), nil
+	case "never":
+		return uerl.NeverPolicy(), nil
+	}
+	return nil, fmt.Errorf("unknown -policy %q (want always or never, or use -model)", kind)
+}
+
+// generateStream synthesizes the two-phase drifting telemetry stream and
+// converts it to serving events (retirements, an administrative record,
+// are not node telemetry and are skipped).
+func generateStream(seed int64, nodes int, days, driftDay, driftMult float64) ([]uerl.Event, int) {
+	base := telemetry.Default().Scale(float64(nodes) / 3056)
+	base.Nodes = nodes
+	base.Seed = seed
+	// Liven the per-DIMM rates up: the full-scale defaults are calibrated
+	// for a two-year log, while this scenario runs days.
+	base.CEEntriesPerDay *= 4
+	base.FaultyDIMMFraction *= 2
+
+	phase1 := base
+	phase1.Duration = time.Duration(days * 24 * float64(time.Hour))
+	logs := []*errlog.Log{}
+	if driftDay > 0 && driftDay < days {
+		phase1.Duration = time.Duration(driftDay * 24 * float64(time.Hour))
+		phase2 := base
+		phase2.Seed = seed + 1
+		phase2.Start = phase1.Start.Add(phase1.Duration)
+		phase2.Duration = time.Duration((days - driftDay) * 24 * float64(time.Hour))
+		// The fault-mode change: CE records arrive more often and carry
+		// larger bursts, and more DIMMs fail.
+		phase2.CEEntriesPerDay *= driftMult
+		phase2.MeanCEBurst *= driftMult
+		phase2.FaultyDIMMFraction *= 2
+		logs = append(logs, telemetry.Generate(phase1), telemetry.Generate(phase2))
+	} else {
+		logs = append(logs, telemetry.Generate(phase1))
+	}
+
+	var out []uerl.Event
+	ues := 0
+	for _, log := range logs {
+		for _, e := range log.Events {
+			var typ uerl.EventType
+			switch e.Type {
+			case errlog.CE:
+				typ = uerl.CorrectedError
+			case errlog.UEWarning:
+				typ = uerl.UEWarning
+			case errlog.Boot:
+				typ = uerl.NodeBoot
+			case errlog.UE:
+				typ = uerl.UncorrectedError
+				ues++
+			default:
+				continue
+			}
+			out = append(out, uerl.Event{
+				Time: e.Time, Node: e.Node, DIMM: e.DIMM, Type: typ, Count: e.Count,
+				Rank: e.Rank, Bank: e.Bank, Row: e.Row, Col: e.Col,
+			})
+		}
+	}
+	return out, ues
+}
+
+// lineageChain walks the promotion events into the served model's version
+// chain, newest first.
+func lineageChain(initial string, events []uerl.LifecycleEvent) []string {
+	chain := []string{initial}
+	for _, ev := range events {
+		if ev.Kind == uerl.LifecyclePromote {
+			chain = append(chain, ev.ModelVersion)
+		}
+	}
+	// Reverse: newest first.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uerlserve:", err)
+	os.Exit(1)
+}

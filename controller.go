@@ -3,6 +3,7 @@ package uerl
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/errlog"
@@ -21,6 +22,12 @@ const (
 	UEWarning
 	// NodeBoot marks a node (re)boot.
 	NodeBoot
+	// UncorrectedError is a realized uncorrected error — the outcome the
+	// serving policies try to predict. Reporting it keeps the node's
+	// feature history faithful and, when an OnlineLearner taps the
+	// controller, supplies the realized-outcome signal continual learning
+	// and shadow evaluation are driven by.
+	UncorrectedError
 )
 
 // Event is one node telemetry record, the online analogue of the log
@@ -52,6 +59,8 @@ func (e Event) toErrlog() errlog.Event {
 		ev.Type = errlog.UEWarning
 	case NodeBoot:
 		ev.Type = errlog.Boot
+	case UncorrectedError:
+		ev.Type = errlog.UE
 	}
 	return ev
 }
@@ -75,8 +84,13 @@ type ctlShard struct {
 // parallel, and Recommend takes only a read lock, so a fleet poller never
 // blocks ingestion. Events must arrive in non-decreasing time order per
 // node; different nodes are independent.
+//
+// The serving policy is held behind an atomic pointer: SwapPolicy
+// installs a retrained model with a single pointer swap, so hot-swapping
+// never drops, blocks or torn-reads a concurrent Recommend, and all
+// tracker state survives the swap.
 type Controller struct {
-	policy Policy
+	policy atomic.Pointer[Policy]
 	now    func() time.Time
 	shards []*ctlShard
 	mask   uint64
@@ -90,21 +104,38 @@ func NewController(policy Policy, opts ...ControllerOption) *Controller {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if policy == nil {
+		panic("uerl: NewController with nil policy")
+	}
 	n := ceilPow2(cfg.shards)
 	c := &Controller{
-		policy: policy,
 		now:    cfg.now,
 		shards: make([]*ctlShard, n),
 		mask:   uint64(n - 1),
 	}
+	c.policy.Store(&policy)
 	for i := range c.shards {
 		c.shards[i] = &ctlShard{trackers: map[int]*features.Tracker{}}
 	}
 	return c
 }
 
-// Policy returns the serving policy.
-func (c *Controller) Policy() Policy { return c.policy }
+// Policy returns the currently served policy.
+func (c *Controller) Policy() Policy { return *c.policy.Load() }
+
+// SwapPolicy atomically installs a new serving policy and returns the one
+// it replaces — the hot-swap step of the online model lifecycle. The swap
+// is a single pointer exchange: concurrent Recommend calls are never
+// dropped or blocked, each completes against whichever policy it loaded
+// at entry, and per-node tracker state (feature histories) carries over
+// untouched. The new policy must be safe for concurrent use, like any
+// policy served by a controller.
+func (c *Controller) SwapPolicy(p Policy) Policy {
+	if p == nil {
+		panic("uerl: SwapPolicy with nil policy")
+	}
+	return *c.policy.Swap(&p)
+}
 
 // ShardCount reports the number of tracker shards.
 func (c *Controller) ShardCount() int { return len(c.shards) }
@@ -194,8 +225,11 @@ func (c *Controller) peek(node int, at time.Time, cost float64) features.Vector 
 // empty feature state. at should not precede the node's last observed
 // event — a lagging poller clock inflates the Eq. 2 variation features.
 func (c *Controller) Recommend(node int, at time.Time, potentialCostNodeHours float64) Decision {
+	// Load the policy once: a concurrent SwapPolicy must not mix two
+	// models' outputs within one decision.
+	policy := *c.policy.Load()
 	v := c.peek(node, at, potentialCostNodeHours)
-	d := c.policy.Decide(Snapshot{Node: node, Time: at, Features: v})
+	d := policy.Decide(Snapshot{Node: node, Time: at, Features: v})
 	// Normalize bookkeeping so custom policies can leave it to us. The
 	// snapshot and decision are plain values (inline feature arrays), so
 	// this whole query path performs zero heap allocations. Features is
@@ -205,10 +239,10 @@ func (c *Controller) Recommend(node int, at time.Time, potentialCostNodeHours fl
 	d.Node, d.Time = node, at
 	d.Features = v
 	if d.Policy == "" {
-		d.Policy = c.policy.Name()
+		d.Policy = policy.Name()
 	}
 	if d.ModelVersion == "" {
-		d.ModelVersion = c.policy.Version()
+		d.ModelVersion = policy.Version()
 	}
 	return d
 }

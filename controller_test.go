@@ -211,6 +211,116 @@ func TestControllerConcurrency(t *testing.T) {
 	}
 }
 
+// TestSwapPolicyPreservesTrackerState is the regression test for the old
+// immutable-policy Controller: installing a retrained model used to mean
+// rebuilding the whole controller, losing every node's accumulated
+// feature history. SwapPolicy must change only the policy.
+func TestSwapPolicyPreservesTrackerState(t *testing.T) {
+	ctl := NewController(AlwaysPolicy(), WithShards(4))
+	base := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	for node := 0; node < 8; node++ {
+		for _, ev := range degradingEvents(node, base, 50) {
+			ctl.ObserveEvent(ev)
+		}
+	}
+	at := base.Add(2 * time.Hour)
+	var before [8][FeatureDim]float64
+	for node := range before {
+		before[node] = ctl.Features(node, at, 7)
+	}
+
+	old := ctl.SwapPolicy(NeverPolicy())
+	if old.Kind() != PolicyAlways {
+		t.Fatalf("SwapPolicy returned %s, want the replaced always policy", old.Kind())
+	}
+	if ctl.Policy().Kind() != PolicyNever {
+		t.Fatalf("serving policy is %s after swap, want never", ctl.Policy().Kind())
+	}
+
+	if n := ctl.NodeCount(); n != 8 {
+		t.Fatalf("swap dropped tracker state: %d nodes, want 8", n)
+	}
+	for node := range before {
+		after := ctl.Features(node, at, 7)
+		if after != before[node] {
+			t.Fatalf("node %d features changed across swap:\n before=%v\n after=%v", node, before[node], after)
+		}
+	}
+
+	// Decisions now come from the new policy, with its identity.
+	d := ctl.Recommend(3, at, 7)
+	if d.Mitigate() {
+		t.Fatal("never policy mitigated after swap")
+	}
+	if d.Policy != NeverPolicy().Name() || d.ModelVersion != NeverPolicy().Version() {
+		t.Fatalf("post-swap decision identity = %q/%q", d.Policy, d.ModelVersion)
+	}
+}
+
+// TestSwapPolicyConcurrent hot-swaps between two policies while readers
+// hammer Recommend: no call may drop, block, or observe a torn mix of one
+// policy's action with the other's identity. Meant for -race.
+func TestSwapPolicyConcurrent(t *testing.T) {
+	always, never := AlwaysPolicy(), NeverPolicy()
+	ctl := NewController(always, WithShards(4))
+	base := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	for _, ev := range degradingEvents(1, base, 20) {
+		ctl.ObserveEvent(ev)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			at := base.Add(time.Hour)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d := ctl.Recommend(1, at.Add(time.Duration(i)*time.Second), 5)
+				switch d.ModelVersion {
+				case always.Version():
+					if !d.Mitigate() || d.Policy != always.Name() {
+						t.Errorf("torn decision: %+v claims always", d)
+						return
+					}
+				case never.Version():
+					if d.Mitigate() || d.Policy != never.Name() {
+						t.Errorf("torn decision: %+v claims never", d)
+						return
+					}
+				default:
+					t.Errorf("decision from unknown model %q", d.ModelVersion)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		if i%2 == 0 {
+			ctl.SwapPolicy(never)
+		} else {
+			ctl.SwapPolicy(always)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSwapPolicyNilPanics(t *testing.T) {
+	ctl := NewController(AlwaysPolicy())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SwapPolicy(nil) did not panic")
+		}
+	}()
+	ctl.SwapPolicy(nil)
+}
+
 // TestServingPathZeroAlloc: the two serving hot paths — single-event
 // ingestion and side-effect-free recommendation (Q-network forward
 // included) — must not allocate in steady state.

@@ -1,0 +1,64 @@
+package errlog
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzDecode fuzzes the CSV codec: arbitrary input must never panic, and
+// any input that decodes successfully must be stable under an
+// encode → decode → encode round trip (the first encoding canonicalizes
+// timestamp and boolean spellings; after that the codec must be a fixed
+// point, or archived logs would silently mutate on every rewrite).
+func FuzzDecode(f *testing.F) {
+	// Seed with a representative valid log...
+	seedLog := &Log{Events: []Event{
+		{Time: time.Date(2014, 10, 1, 0, 0, 0, 0, time.UTC), Node: 0, DIMM: -1,
+			Manufacturer: ManufacturerA, Type: Boot, Count: 1, Rank: -1, Bank: -1, Row: -1, Col: -1},
+		{Time: time.Date(2014, 10, 2, 3, 4, 5, 678900000, time.UTC), Node: 17, DIMM: 138,
+			Manufacturer: ManufacturerC, Type: CE, Count: 42, Rank: 1, Bank: 7, Row: 54321, Col: 999, Scrub: true},
+		{Time: time.Date(2014, 10, 3, 0, 0, 0, 1, time.UTC), Node: 17, DIMM: 138,
+			Manufacturer: ManufacturerC, Type: UEWarning, Count: 1, Rank: -1, Bank: -1, Row: -1, Col: -1},
+		{Time: time.Date(2014, 10, 4, 12, 0, 0, 0, time.UTC), Node: 17, DIMM: 138,
+			Manufacturer: ManufacturerC, Type: UE, Count: 1, Rank: -1, Bank: -1, Row: -1, Col: -1, OverTemp: true},
+		{Time: time.Date(2014, 10, 5, 0, 0, 0, 0, time.UTC), Node: 3, DIMM: 24,
+			Manufacturer: ManufacturerB, Type: Retirement, Count: 1, Rank: -1, Bank: -1, Row: -1, Col: -1},
+	}}
+	var seed bytes.Buffer
+	if err := WriteCSV(&seed, seedLog); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	// ...plus structural edge cases for the mutator to start from.
+	f.Add([]byte("time,node,dimm,manufacturer,type,count,rank,bank,row,col,scrub,overtemp\n"))
+	f.Add([]byte("time,node,dimm,manufacturer,type,count,rank,bank,row,col,scrub,overtemp\n" +
+		"2020-01-01T00:00:00Z,1,2,A,CE,3,0,1,2,3,1,FALSE\n"))
+	f.Add([]byte("a,b,c,d,e,f,g,h,i,j,k,l\nnot,a,valid,row,at,all,g,h,i,j,k,l\n"))
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return // invalid input rejected: that is the contract
+		}
+		var first bytes.Buffer
+		if err := WriteCSV(&first, l); err != nil {
+			t.Fatalf("encoding a decoded log failed: %v", err)
+		}
+		l2, err := ReadCSV(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("own encoding does not decode: %v\n%s", err, first.Bytes())
+		}
+		if len(l2.Events) != len(l.Events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(l.Events), len(l2.Events))
+		}
+		var second bytes.Buffer
+		if err := WriteCSV(&second, l2); err != nil {
+			t.Fatalf("re-encoding failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("codec is not a fixed point:\nfirst:\n%s\nsecond:\n%s", first.Bytes(), second.Bytes())
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package evalx
+
+import "time"
+
+// ShadowConfig parameterizes a streaming shadow evaluation.
+type ShadowConfig struct {
+	// MitigationCostNodeHours is the per-action cost charged to a
+	// mitigate decision.
+	MitigationCostNodeHours float64
+	// Restartable reports whether a mitigation establishes a restart
+	// point: if true, a UE caught by an in-window mitigation charges no
+	// UE cost (the work since the restart point is the mitigation
+	// overhead, already charged); if false, the full realized cost is
+	// charged regardless — mitigation then only helps through the
+	// operational response it triggers, as in the paper's §5.5 ablation.
+	Restartable bool
+	// Window is the §4.4 prediction window (default 24 h): a UE counts
+	// as mitigated when a mitigation completed within this long before.
+	Window time.Duration
+	// Overhead is the mitigation completion overhead (default 2 min): a
+	// mitigation closer to the UE than this cannot complete in time.
+	Overhead time.Duration
+}
+
+func (c ShadowConfig) withDefaults() ShadowConfig {
+	if c.Window <= 0 {
+		c.Window = PredictionWindow
+	}
+	if c.Overhead <= 0 {
+		c.Overhead = OracleOverhead
+	}
+	return c
+}
+
+// ShadowEval scores one policy's decision stream against realized UE
+// outcomes with the same rolling accounting the replay engine uses, but
+// online: decisions and UEs arrive one at a time from live traffic
+// instead of from a recorded log. It is how candidate models are scored
+// against the incumbent during shadow deployment — both see identical
+// traffic, only their decisions differ, so their Results are directly
+// comparable.
+//
+// The accounting mirrors replayNode: every mitigate decision charges the
+// mitigation cost; a UE whose node saw a mitigation complete within the
+// prediction window is a true positive (UE cost forgiven when
+// restartable), otherwise a false negative charging the full realized
+// cost. Unlike offline replay there is no workload timeline, so the
+// realized UE cost is supplied by the caller (the serving layer's
+// potential-cost source at the UE instant).
+//
+// ShadowEval is not safe for concurrent use; the learning loop owns it.
+type ShadowEval struct {
+	cfg       ShadowConfig
+	res       Result
+	recent    map[int][]time.Time
+	lastEvent map[int]time.Time
+}
+
+// NewShadowEval builds a scorer for the named policy.
+func NewShadowEval(name string, cfg ShadowConfig) *ShadowEval {
+	return &ShadowEval{
+		cfg:       cfg.withDefaults(),
+		res:       Result{Policy: name},
+		recent:    map[int][]time.Time{},
+		lastEvent: map[int]time.Time{},
+	}
+}
+
+// Decision records one decision for node at time at.
+func (s *ShadowEval) Decision(node int, at time.Time, mitigate bool) {
+	s.res.Decisions++
+	s.lastEvent[node] = at
+	if !mitigate {
+		s.res.Metrics.NonMitigations++
+		return
+	}
+	s.res.MitigationCost += s.cfg.MitigationCostNodeHours
+	s.res.Metrics.Mitigations++
+	times := append(s.recent[node], at)
+	// Bound per-node memory exactly like the replay engine.
+	if len(times) > 64 {
+		times = times[len(times)-64:]
+	}
+	s.recent[node] = times
+}
+
+// UE records a realized uncorrected error on node at time at with the
+// given realized cost in node–hours.
+func (s *ShadowEval) UE(node int, at time.Time, costNodeHours float64) {
+	s.res.UEs++
+	mitigated := false
+	times := s.recent[node]
+	for i := len(times) - 1; i >= 0; i-- {
+		dt := at.Sub(times[i])
+		if dt > s.cfg.Window {
+			break
+		}
+		if dt >= s.cfg.Overhead {
+			mitigated = true
+			break
+		}
+	}
+	if mitigated {
+		s.res.Metrics.TPs++
+		if !s.cfg.Restartable {
+			s.res.UECost += costNodeHours
+		}
+	} else {
+		s.res.Metrics.FNs++
+		s.res.UECost += costNodeHours
+		// §4.4 parity with replayNode: a UE with no event on its node in
+		// the preceding prediction window is an implicit "no-mitigate"
+		// decision — count the non-mitigation so the confusion matrix
+		// balances exactly as offline replay reports it.
+		last, seen := s.lastEvent[node]
+		if !seen || at.Sub(last) > s.cfg.Window {
+			s.res.Metrics.NonMitigations++
+		}
+	}
+	s.lastEvent[node] = at
+}
+
+// Result returns the accumulated rolling result with the derived
+// FP/TN counts filled in, exactly as Replay reports them.
+func (s *ShadowEval) Result() Result {
+	res := s.res
+	res.Metrics.FPs = res.Metrics.Mitigations - res.Metrics.TPs
+	res.Metrics.TNs = res.Metrics.NonMitigations - res.Metrics.FNs
+	return res
+}
+
+// Reset clears the accumulated result and mitigation history, keeping the
+// configuration — a new shadow comparison window starts clean.
+func (s *ShadowEval) Reset() {
+	s.res = Result{Policy: s.res.Policy}
+	for k := range s.recent {
+		delete(s.recent, k)
+	}
+	for k := range s.lastEvent {
+		delete(s.lastEvent, k)
+	}
+}

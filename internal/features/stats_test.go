@@ -1,0 +1,97 @@
+package features
+
+import (
+	"math"
+	"testing"
+)
+
+func statsVec(vals ...float64) Vector {
+	var v Vector
+	for i, x := range vals {
+		v[i] = x
+	}
+	return v
+}
+
+func TestSummaryStatsMeanVariance(t *testing.T) {
+	var s SummaryStats
+	samples := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range samples {
+		s.Observe(statsVec(x))
+	}
+	if got := s.Count(); got != len(samples) {
+		t.Fatalf("Count = %d, want %d", got, len(samples))
+	}
+	if got := s.Mean(0); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	// Population variance of the classic example is exactly 4.
+	if got := s.Variance(0); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	// Untouched dimensions stay at zero mean/variance.
+	if s.Mean(1) != 0 || s.Variance(1) != 0 {
+		t.Fatalf("untouched dim moved: mean=%v var=%v", s.Mean(1), s.Variance(1))
+	}
+}
+
+func TestSummaryStatsVarianceNeedsTwoSamples(t *testing.T) {
+	var s SummaryStats
+	if s.Variance(0) != 0 {
+		t.Fatalf("empty variance = %v, want 0", s.Variance(0))
+	}
+	s.Observe(statsVec(42))
+	if s.Variance(0) != 0 {
+		t.Fatalf("one-sample variance = %v, want 0", s.Variance(0))
+	}
+}
+
+func TestSummaryStatsMergeMatchesSerial(t *testing.T) {
+	serial := SummaryStats{}
+	var a, b SummaryStats
+	for i := 0; i < 100; i++ {
+		v := statsVec(float64(i), float64(i%7), math.Sqrt(float64(i)))
+		serial.Observe(v)
+		if i < 37 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != serial.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), serial.Count())
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(a.Mean(i)-serial.Mean(i)) > 1e-9 {
+			t.Fatalf("dim %d merged mean = %v, serial %v", i, a.Mean(i), serial.Mean(i))
+		}
+		if math.Abs(a.Variance(i)-serial.Variance(i)) > 1e-9 {
+			t.Fatalf("dim %d merged variance = %v, serial %v", i, a.Variance(i), serial.Variance(i))
+		}
+	}
+}
+
+func TestSummaryStatsMergeEdgeCases(t *testing.T) {
+	var empty, full SummaryStats
+	full.Observe(statsVec(3))
+	full.Observe(statsVec(5))
+
+	// Merging an empty accumulator is a no-op.
+	before := full
+	full.Merge(&empty)
+	if full != before {
+		t.Fatal("merging empty changed the accumulator")
+	}
+
+	// Merging into an empty accumulator copies.
+	empty.Merge(&full)
+	if empty.Count() != 2 || empty.Mean(0) != 4 {
+		t.Fatalf("merge into empty: count=%d mean=%v", empty.Count(), empty.Mean(0))
+	}
+
+	empty.Reset()
+	if empty.Count() != 0 || empty.Mean(0) != 0 {
+		t.Fatal("Reset did not clear the accumulator")
+	}
+}

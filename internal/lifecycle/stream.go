@@ -1,0 +1,89 @@
+// Package lifecycle implements online continual learning for the serving
+// layer: a bounded experience stream fed from live serving decisions and
+// realized outcomes, an OnlineTrainer that turns that stream into
+// deterministic incremental DQN updates (reusing the batched internal/rl
+// kernels), and a drift detector over the rolling feature distribution
+// that decides when retraining is warranted. The root package's
+// OnlineLearner wires these into the Controller's drift → retrain →
+// shadow-evaluate → hot-swap loop.
+package lifecycle
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rl"
+)
+
+// Stream is a bounded FIFO of training transitions. When full, pushing
+// drops the oldest buffered transition (live experience is perishable:
+// the newest transitions reflect the distribution being learned), and the
+// drop is counted so operators can size the buffer against their retrain
+// cadence. Stream is safe for concurrent use.
+type Stream struct {
+	mu      sync.Mutex
+	buf     []rl.Transition
+	head    int
+	size    int
+	pushed  uint64
+	dropped uint64
+}
+
+// NewStream creates a stream holding at most capacity transitions.
+func NewStream(capacity int) *Stream {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("lifecycle: stream capacity must be positive, got %d", capacity))
+	}
+	return &Stream{buf: make([]rl.Transition, capacity)}
+}
+
+// Push appends a transition, evicting the oldest when full.
+func (s *Stream) Push(tr rl.Transition) {
+	s.mu.Lock()
+	if s.size == len(s.buf) {
+		s.head = (s.head + 1) % len(s.buf)
+		s.size--
+		s.dropped++
+	}
+	s.buf[(s.head+s.size)%len(s.buf)] = tr
+	s.size++
+	s.pushed++
+	s.mu.Unlock()
+}
+
+// Drain removes all buffered transitions in FIFO order, invoking f for
+// each. The callback must not call back into the stream.
+func (s *Stream) Drain(f func(rl.Transition)) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.size
+	for i := 0; i < n; i++ {
+		f(s.buf[(s.head+i)%len(s.buf)])
+	}
+	s.head, s.size = 0, 0
+	return n
+}
+
+// Len reports the number of buffered transitions.
+func (s *Stream) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Pushed reports the total number of transitions ever pushed.
+func (s *Stream) Pushed() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pushed
+}
+
+// Dropped reports how many transitions were evicted unconsumed.
+func (s *Stream) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Cap reports the stream capacity.
+func (s *Stream) Cap() int { return len(s.buf) }

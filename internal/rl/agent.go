@@ -273,6 +273,30 @@ func (a *Agent) Observe(tr Transition) (loss float64, trained bool) {
 	return a.trainBatch(), true
 }
 
+// AddExperience stores a transition in the replay buffer without advancing
+// the ε-greedy/TrainEvery schedule. It is the ingestion half of the
+// externally driven training mode used by online continual learning: a
+// lifecycle trainer drains logged serving experience into the buffer with
+// AddExperience and then drives optimization explicitly with TrainStep,
+// instead of interleaving both through Observe.
+func (a *Agent) AddExperience(tr Transition) { a.replay.Add(tr) }
+
+// TrainStep runs one batched optimization step against the current replay
+// contents (the same batched kernels Observe uses) and returns the mean
+// loss. It reports false without training when the buffer holds fewer
+// transitions than a batch. Unlike Observe it never syncs the target
+// network; callers sequencing explicit epochs use SyncTarget.
+func (a *Agent) TrainStep() (loss float64, trained bool) {
+	if a.replay.Len() < a.cfg.BatchSize {
+		return 0, false
+	}
+	return a.trainBatch(), true
+}
+
+// SyncTarget hard-syncs the target network to the online network, the
+// explicit-epoch counterpart of Observe's SyncEvery schedule.
+func (a *Agent) SyncTarget() { a.target.CopyFrom(a.online) }
+
 // trainBatch samples a mini-batch and takes one optimization step,
 // returning the mean loss. TD targets follow double DQN when configured:
 // y = r + gamma * Q_target(s', argmax_a Q_online(s', a)).

@@ -11,7 +11,21 @@ import (
 // Unlike Agent.GreedyPolicy / SnapshotPolicy, whose closures own a single
 // scratch buffer and are therefore single-goroutine, SharedQPolicy pools
 // scratch space per call, so one instance can serve many goroutines (the
-// sharded controller's Recommend path). The network itself is only read.
+// sharded controller's Recommend path).
+//
+// Concurrency contract:
+//
+//   - QValues / QValuesInto / Action may be called from any number of
+//     goroutines simultaneously, without external locking; each call
+//     draws its own scratch from an internal pool.
+//   - The wrapped network is strictly read-only for the policy's
+//     lifetime. The constructor's caller must hand over a network nobody
+//     trains afterwards (Clone a training agent's online network first);
+//     Net is exposed for serialization and must be treated as read-only.
+//   - Continual-learning hot swaps therefore never mutate a served
+//     SharedQPolicy: a retrained candidate is a new frozen network
+//     wrapped in a new policy, and the swap replaces the whole policy
+//     pointer atomically at the serving layer.
 type SharedQPolicy struct {
 	net  *nn.Network
 	pool sync.Pool

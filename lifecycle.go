@@ -1,0 +1,392 @@
+package uerl
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/evalx"
+	"repro/internal/features"
+	"repro/internal/lifecycle"
+	"repro/internal/rl"
+)
+
+// CostFunc supplies the Eq. 3 potential UE cost (running job's node count
+// × node–hours lost if a UE struck now) for a node at a given time — the
+// workload-model input of the serving layer. For realized UncorrectedError
+// events it is also the realized cost charged to the outcome accounting.
+type CostFunc func(node int, at time.Time) float64
+
+// ConstantCost returns a CostFunc reporting a fixed potential cost.
+func ConstantCost(nodeHours float64) CostFunc {
+	return func(int, time.Time) float64 { return nodeHours }
+}
+
+// LifecycleEventKind classifies an online-learning lifecycle event.
+type LifecycleEventKind string
+
+const (
+	// LifecycleDrift marks a drift-detector window crossing the threshold.
+	LifecycleDrift LifecycleEventKind = "drift"
+	// LifecycleRetrain marks a completed retraining epoch that produced a
+	// shadow candidate.
+	LifecycleRetrain LifecycleEventKind = "retrain"
+	// LifecycleRetrainFailed marks a retraining epoch that staged no
+	// candidate (replay still below one batch, weights unchanged, or
+	// candidate construction failed); Detail carries the reason.
+	LifecycleRetrainFailed LifecycleEventKind = "retrain-failed"
+	// LifecyclePromote marks a candidate passing shadow evaluation and
+	// being hot-swapped into the controller.
+	LifecyclePromote LifecycleEventKind = "promote"
+	// LifecycleReject marks a candidate losing its shadow evaluation and
+	// being discarded.
+	LifecycleReject LifecycleEventKind = "reject"
+)
+
+// LifecycleEvent is one entry of the online learner's audit log.
+type LifecycleEvent struct {
+	// Kind classifies the event.
+	Kind LifecycleEventKind `json:"kind"`
+	// Time is the telemetry time at which the event occurred.
+	Time time.Time `json:"time"`
+	// Generation is the model generation after the event (0 = the
+	// initial policy; it increments on every promotion).
+	Generation int `json:"generation"`
+	// ModelVersion identifies the model the event concerns: the
+	// candidate for retrain/promote/reject, the incumbent for drift.
+	ModelVersion string `json:"model_version,omitempty"`
+	// Parent is the candidate's lineage parent version, when relevant.
+	Parent string `json:"parent,omitempty"`
+	// Score quantifies the event: the drift statistic for drift events,
+	// the shadow cost advantage (incumbent − candidate, node–hours) for
+	// promote/reject, the mean training loss for retrain.
+	Score float64 `json:"score"`
+	// Detail is a human-readable summary.
+	Detail string `json:"detail,omitempty"`
+}
+
+// LearnerStats summarizes an OnlineLearner's activity.
+type LearnerStats struct {
+	// Decisions is the number of decision ticks processed.
+	Decisions int `json:"decisions"`
+	// UEs is the number of realized uncorrected errors processed.
+	UEs int `json:"ues"`
+	// Transitions is the number of completed experience transitions
+	// ingested into the training stream.
+	Transitions uint64 `json:"transitions"`
+	// DroppedTransitions counts experience evicted unconsumed from the
+	// bounded stream.
+	DroppedTransitions uint64 `json:"dropped_transitions"`
+	// Epochs is the number of completed retraining epochs.
+	Epochs int `json:"epochs"`
+	// Generation is the current model generation (number of promotions).
+	Generation int `json:"generation"`
+	// ShadowActive reports whether a candidate is currently in shadow.
+	ShadowActive bool `json:"shadow_active"`
+	// ServingVersion is the currently served model version.
+	ServingVersion string `json:"serving_version"`
+}
+
+// pendingStep is a decision awaiting its outcome: the transition from it
+// completes at the node's next decision tick, after any realized UE costs
+// in between have been folded into the reward (the streaming analogue of
+// the training environment's Step).
+type pendingStep struct {
+	state  []float64 // normalized features at the decision
+	action int
+	reward float64 // scaled, accumulates realized UE costs
+}
+
+// OnlineLearner closes the loop the offline pipeline leaves open: it taps
+// a Controller's telemetry stream and realized UE outcomes into a bounded
+// experience stream, detects drift in the rolling feature distribution,
+// retrains the Q-network incrementally on live experience (reusing the
+// batched internal/rl kernels), scores each candidate against the
+// incumbent on identical shadow traffic, and — when the candidate wins —
+// hot-swaps it into the controller with full model lineage.
+//
+//	learner := uerl.NewOnlineLearner(ctl, uerl.WithLearnerSeed(1))
+//	for ev := range telemetry {
+//	    learner.Process(ev) // serve + learn
+//	}
+//
+// Process both ingests the event into the controller and advances the
+// learning loop, so callers feed events through the learner instead of
+// calling Controller.ObserveEvent directly. Serving queries (Recommend)
+// keep going straight to the controller from any goroutine — a hot swap
+// never drops or blocks them. Process is safe for concurrent use, but
+// the lifecycle is only bit-reproducible when events arrive in a
+// deterministic order (one feeding goroutine).
+//
+// The learner is deterministic: a fixed seed and event stream reproduce
+// the same drift verdicts, the same retrained weights (same content-
+// addressed versions), and the same promotion decisions.
+type OnlineLearner struct {
+	mu  sync.Mutex
+	ctl *Controller
+	cfg learnerConfig
+
+	trainer *lifecycle.OnlineTrainer
+	drift   *lifecycle.DriftDetector
+	pending map[int]*pendingStep
+
+	shadowInc  *evalx.ShadowEval
+	shadowCand *evalx.ShadowEval
+	candidate  Policy
+
+	sinceRetrain int
+	decisions    int
+	ues          int
+	generation   int
+	events       []LifecycleEvent
+}
+
+// NewOnlineLearner attaches a continual-learning lifecycle to ctl.
+func NewOnlineLearner(ctl *Controller, opts ...LearnerOption) *OnlineLearner {
+	if ctl == nil {
+		panic("uerl: NewOnlineLearner with nil controller")
+	}
+	cfg := defaultLearnerConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	l := &OnlineLearner{
+		ctl: ctl,
+		cfg: cfg,
+		trainer: lifecycle.NewOnlineTrainer(lifecycle.TrainerConfig{
+			Agent: rl.AgentConfig{
+				StateLen:     FeatureDim,
+				NumActions:   2,
+				Hidden:       cfg.hidden,
+				Dueling:      true,
+				DoubleDQN:    true,
+				Gamma:        0.99,
+				LearningRate: 3e-3,
+				BatchSize:    32,
+				GradClip:     10,
+				HuberDelta:   1,
+				Seed:         cfg.seed,
+			},
+			StreamCapacity: cfg.streamCapacity,
+			StepsPerEpoch:  cfg.epochSteps,
+		}),
+		drift: lifecycle.NewDriftDetector(lifecycle.DriftConfig{
+			Threshold:     cfg.driftThreshold,
+			WindowSamples: cfg.driftWindow,
+			// Monitor the stationary feature subset: the cumulative
+			// counters grow monotonically on any healthy stream and
+			// would trip a mean-shift test without any real drift.
+			Dims: lifecycle.StationaryDriftDims,
+		}),
+		pending: map[int]*pendingStep{},
+		shadowInc: evalx.NewShadowEval("incumbent", evalx.ShadowConfig{
+			MitigationCostNodeHours: cfg.mitigationCostNodeMinutes / 60,
+			Restartable:             cfg.restartable,
+		}),
+	}
+	return l
+}
+
+// Controller returns the served controller.
+func (l *OnlineLearner) Controller() *Controller { return l.ctl }
+
+// Process ingests one telemetry event: it updates the controller's
+// feature state, records the served decision as training experience,
+// advances drift detection and shadow evaluation, and — when the
+// lifecycle calls for it — retrains and hot-swaps the serving policy.
+func (l *OnlineLearner) Process(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e.Type == UncorrectedError {
+		l.processUE(e)
+		return
+	}
+	l.processDecision(e)
+}
+
+// ProcessBatch ingests a time-ordered event batch.
+func (l *OnlineLearner) ProcessBatch(events []Event) {
+	for _, e := range events {
+		l.Process(e)
+	}
+}
+
+// processUE folds a realized UE into the pending reward, the feature
+// history, and both shadow scoreboards. Caller holds l.mu.
+func (l *OnlineLearner) processUE(e Event) {
+	realized := l.cfg.cost(e.Node, e.Time)
+	l.ctl.ObserveEvent(e)
+	l.ues++
+	if p := l.pending[e.Node]; p != nil {
+		// Eq. 4: the UE cost lands on the reward of the preceding
+		// decision, exactly as in the offline training environment.
+		p.reward -= realized * l.cfg.rewardScale
+	}
+	l.shadowInc.UE(e.Node, e.Time, realized)
+	if l.candidate != nil {
+		l.shadowCand.UE(e.Node, e.Time, realized)
+		l.judgeShadow(e.Time)
+	}
+}
+
+// processDecision handles a non-UE event: a decision tick. Caller holds
+// l.mu.
+func (l *OnlineLearner) processDecision(e Event) {
+	l.ctl.ObserveEvent(e)
+	cost := l.cfg.cost(e.Node, e.Time)
+	d := l.ctl.Recommend(e.Node, e.Time, cost)
+	l.decisions++
+
+	norm := features.Vector(d.Features).Normalized()
+	action := 0
+	initReward := 0.0
+	if d.Mitigate() {
+		action = 1
+		initReward = -(l.cfg.mitigationCostNodeMinutes / 60) * l.cfg.rewardScale
+	}
+	if p := l.pending[e.Node]; p != nil {
+		l.trainer.Ingest(rl.Transition{S: p.state, A: p.action, R: p.reward, NextS: norm})
+		l.sinceRetrain++
+	}
+	l.pending[e.Node] = &pendingStep{state: norm, action: action, reward: initReward}
+
+	l.shadowInc.Decision(e.Node, e.Time, d.Mitigate())
+	if l.candidate != nil {
+		cd := l.candidate.Decide(Snapshot{Node: e.Node, Time: e.Time, Features: d.Features})
+		l.shadowCand.Decision(e.Node, e.Time, cd.Mitigate())
+		l.judgeShadow(e.Time)
+	}
+
+	// Drift watches the distribution of observed telemetry, not the
+	// poll-time snapshot: Recommend reads features through Peek, which
+	// reports zero CEs-since-last-event (no current-tick events), so the
+	// per-tick CE rate — the strongest drift signal — is patched back in
+	// from the event itself.
+	dv := features.Vector(d.Features)
+	if e.Type == CorrectedError {
+		count := e.Count
+		if count <= 0 {
+			count = 1
+		}
+		dv[features.CEsSinceLastEvent] = float64(count)
+	}
+	if res, ok := l.drift.Observe(dv); ok && res.Drifted {
+		l.record(LifecycleEvent{
+			Kind: LifecycleDrift, Time: e.Time, Generation: l.generation,
+			ModelVersion: l.ctl.Policy().Version(), Score: res.Score,
+			Detail: fmt.Sprintf("feature %d shifted (z=%.1f, window %d)", res.Dim, res.Score, res.Windows),
+		})
+		if l.candidate == nil && l.sinceRetrain >= l.cfg.minExperience {
+			l.retrain(e.Time)
+		}
+	}
+}
+
+// retrain runs one training epoch over the buffered live experience and
+// stages the result as a shadow candidate. Caller holds l.mu.
+func (l *OnlineLearner) retrain(at time.Time) {
+	incumbent := l.ctl.Policy()
+	if rlp, ok := incumbent.(*rlPolicy); ok {
+		// Continual learning: start from the weights currently serving.
+		l.trainer.WarmStart(rlp.q.Net())
+	}
+	res := l.trainer.Epoch()
+	l.sinceRetrain = 0
+	fail := func(reason string) {
+		l.record(LifecycleEvent{
+			Kind: LifecycleRetrainFailed, Time: at, Generation: l.generation,
+			ModelVersion: incumbent.Version(),
+			Detail:       fmt.Sprintf("epoch %d staged no candidate: %s", res.Epoch, reason),
+		})
+	}
+	if res.Steps == 0 {
+		fail("replay below one batch; waiting for more experience")
+		return
+	}
+	cand, err := newRLPolicy(l.trainer.Network().Clone(), &TrainingInfo{Seed: l.cfg.seed})
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	if cand.Version() == incumbent.Version() {
+		fail("retrained weights identical to the incumbent")
+		return
+	}
+	_ = SetModelParent(cand, incumbent.Version())
+	l.candidate = cand
+	l.shadowInc.Reset()
+	l.shadowCand = evalx.NewShadowEval("candidate", evalx.ShadowConfig{
+		MitigationCostNodeHours: l.cfg.mitigationCostNodeMinutes / 60,
+		Restartable:             l.cfg.restartable,
+	})
+	l.record(LifecycleEvent{
+		Kind: LifecycleRetrain, Time: at, Generation: l.generation,
+		ModelVersion: cand.Version(), Parent: incumbent.Version(), Score: res.MeanLoss,
+		Detail: fmt.Sprintf("epoch %d: %d transitions, %d steps", res.Epoch, res.Drained, res.Steps),
+	})
+}
+
+// judgeShadow promotes or rejects the candidate once the shadow gate is
+// satisfied. Caller holds l.mu.
+func (l *OnlineLearner) judgeShadow(at time.Time) {
+	cand := l.shadowCand.Result()
+	if cand.Decisions < l.cfg.shadowMinDecisions || cand.UEs < l.cfg.shadowMinUEs {
+		return
+	}
+	inc := l.shadowInc.Result()
+	advantage := inc.TotalCost() - cand.TotalCost()
+	ev := LifecycleEvent{
+		Time: at, ModelVersion: l.candidate.Version(),
+		Parent: ModelParent(l.candidate), Score: advantage,
+		Detail: fmt.Sprintf("shadow over %d decisions / %d UEs: candidate %.1f nh vs incumbent %.1f nh",
+			cand.Decisions, cand.UEs, cand.TotalCost(), inc.TotalCost()),
+	}
+	if advantage >= 0 {
+		l.ctl.SwapPolicy(l.candidate)
+		l.generation++
+		l.drift.Rebase()
+		ev.Kind, ev.Generation = LifecyclePromote, l.generation
+	} else {
+		ev.Kind, ev.Generation = LifecycleReject, l.generation
+	}
+	l.record(ev)
+	l.candidate = nil
+	l.shadowCand = nil
+	l.shadowInc.Reset()
+}
+
+func (l *OnlineLearner) record(ev LifecycleEvent) {
+	l.events = append(l.events, ev)
+}
+
+// Events returns a copy of the lifecycle audit log.
+func (l *OnlineLearner) Events() []LifecycleEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LifecycleEvent, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Generation reports the current model generation (promotions so far).
+func (l *OnlineLearner) Generation() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.generation
+}
+
+// Stats summarizes the learner's activity.
+func (l *OnlineLearner) Stats() LearnerStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LearnerStats{
+		Decisions:          l.decisions,
+		UEs:                l.ues,
+		Transitions:        l.trainer.Stream().Pushed(),
+		DroppedTransitions: l.trainer.Stream().Dropped(),
+		Epochs:             l.trainer.Epochs(),
+		Generation:         l.generation,
+		ShadowActive:       l.candidate != nil,
+		ServingVersion:     l.ctl.Policy().Version(),
+	}
+}

@@ -41,6 +41,15 @@ type ModelHeader struct {
 	FeatureDim int `json:"feature_dim"`
 	// Version is the content-addressed model version (Policy.Version).
 	Version string `json:"version"`
+	// Parent is the content-addressed version of the model this artifact
+	// was trained from (empty for a first-generation model). Online
+	// continual learning chains versions through it: each promoted
+	// candidate records the incumbent it replaced, so a fleet operator
+	// can walk an artifact's lineage back to the offline seed model.
+	// Parent is metadata — it does not enter the content hash, so
+	// retraining that reproduces identical weights keeps the same
+	// Version while still recording where it came from.
+	Parent string `json:"parent,omitempty"`
 	// Training optionally records the producing configuration.
 	Training *TrainingInfo `json:"training,omitempty"`
 }
@@ -90,6 +99,39 @@ func forestVersion(kind PolicyKind, forest *rf.Forest, scalar float64) (string, 
 	return contentVersion(kind, data), nil
 }
 
+// ModelParent returns the lineage parent version recorded on a policy
+// (see ModelHeader.Parent), or "" for first-generation models and kinds
+// without lineage.
+func ModelParent(p Policy) string {
+	switch q := p.(type) {
+	case *rlPolicy:
+		return q.parent
+	case *rfPolicy:
+		return q.parent
+	case *myopicPolicy:
+		return q.parent
+	}
+	return ""
+}
+
+// SetModelParent records the lineage parent version on a trained policy,
+// chaining it to its predecessor (normally the Version of the model it
+// was retrained from). Only the trained kinds (rl, sc20-rf, myopic-rf)
+// carry lineage.
+func SetModelParent(p Policy, parentVersion string) error {
+	switch q := p.(type) {
+	case *rlPolicy:
+		q.parent = parentVersion
+	case *rfPolicy:
+		q.parent = parentVersion
+	case *myopicPolicy:
+		q.parent = parentVersion
+	default:
+		return fmt.Errorf("uerl: policy kind %q carries no model lineage", p.Kind())
+	}
+	return nil
+}
+
 // trainingOf extracts the recorded TrainingInfo of built-in policies.
 func trainingOf(p Policy) *TrainingInfo {
 	switch q := p.(type) {
@@ -116,6 +158,7 @@ func SaveModel(w io.Writer, p Policy) error {
 		Kind:       p.Kind(),
 		FeatureDim: features.Dim,
 		Version:    p.Version(),
+		Parent:     ModelParent(p),
 		Training:   trainingOf(p),
 	}}
 	switch q := p.(type) {
@@ -202,6 +245,13 @@ func LoadModel(r io.Reader) (Policy, error) {
 	if h.Version != "" && p.Version() != h.Version {
 		return nil, fmt.Errorf("uerl: model artifact version %q does not match its payload (%q)",
 			h.Version, p.Version())
+	}
+	if h.Parent != "" {
+		// Lineage only exists on trained kinds; a parent on any other
+		// kind means the header was edited by hand.
+		if err := SetModelParent(p, h.Parent); err != nil {
+			return nil, err
+		}
 	}
 	return p, nil
 }

@@ -149,6 +149,98 @@ func tamper(t *testing.T, p Policy, edit func(env map[string]json.RawMessage, he
 	return out
 }
 
+func TestModelLineageRoundTrip(t *testing.T) {
+	parent := testRLPolicy(t)
+	child := testRLPolicy(t)
+	if got := ModelParent(child); got != "" {
+		t.Fatalf("fresh policy has parent %q", got)
+	}
+	if err := SetModelParent(child, parent.Version()); err != nil {
+		t.Fatal(err)
+	}
+	if got := ModelParent(child); got != parent.Version() {
+		t.Fatalf("ModelParent = %q, want %q", got, parent.Version())
+	}
+
+	// Lineage survives the artifact round trip...
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, child); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	restored, err := LoadModel(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ModelParent(restored); got != parent.Version() {
+		t.Fatalf("restored parent = %q, want %q", got, parent.Version())
+	}
+	// ...is visible in the artifact header...
+	var env struct {
+		Header ModelHeader `json:"header"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Header.Parent != parent.Version() {
+		t.Fatalf("header parent = %q, want %q", env.Header.Parent, parent.Version())
+	}
+	// ...and is metadata only: the content-addressed version must not
+	// change when the lineage does.
+	if restored.Version() != child.Version() {
+		t.Fatalf("lineage changed the content version: %q vs %q", restored.Version(), child.Version())
+	}
+
+	// Forest kinds chain the same way.
+	rfp, err := newRFPolicy(testForest(t), 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SetModelParent(rfp, "sc20-rf.v1.feedbeef"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ModelParent(roundTrip(t, rfp)); got != "sc20-rf.v1.feedbeef" {
+		t.Fatalf("forest lineage lost: %q", got)
+	}
+}
+
+func TestSetModelParentUnsupportedKinds(t *testing.T) {
+	if err := SetModelParent(NeverPolicy(), "x"); err == nil {
+		t.Fatal("static policy accepted lineage")
+	}
+	if ModelParent(AlwaysPolicy()) != "" {
+		t.Fatal("static policy reports lineage")
+	}
+}
+
+func TestLoadModelRejectsParentOnStaticKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, AlwaysPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	var header map[string]any
+	if err := json.Unmarshal(env["header"], &header); err != nil {
+		t.Fatal(err)
+	}
+	header["parent"] = "always.v1"
+	hdr, err := json.Marshal(header)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env["header"] = hdr
+	edited, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(bytes.NewReader(edited)); err == nil {
+		t.Fatal("artifact with hand-edited lineage on a static kind loaded")
+	}
+}
+
 func TestLoadModelRejectsWrongSchema(t *testing.T) {
 	data := tamper(t, AlwaysPolicy(), func(_ map[string]json.RawMessage, h map[string]any) {
 		h["schema"] = ModelSchemaVersion + 1

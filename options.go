@@ -95,6 +95,130 @@ func defaultControllerConfig() controllerConfig {
 	return controllerConfig{shards: 2 * runtime.GOMAXPROCS(0), now: time.Now}
 }
 
+// learnerConfig collects NewOnlineLearner options.
+type learnerConfig struct {
+	seed                      int64
+	cost                      CostFunc
+	mitigationCostNodeMinutes float64
+	restartable               bool
+	rewardScale               float64
+
+	driftThreshold float64
+	driftWindow    int
+
+	minExperience  int
+	epochSteps     int
+	streamCapacity int
+	hidden         []int
+
+	shadowMinDecisions int
+	shadowMinUEs       int
+}
+
+// LearnerOption configures NewOnlineLearner.
+type LearnerOption func(*learnerConfig)
+
+// WithLearnerSeed seeds the continual trainer (weight init and replay
+// sampling); the whole lifecycle is bit-reproducible for a fixed seed and
+// event stream.
+func WithLearnerSeed(seed int64) LearnerOption {
+	return func(c *learnerConfig) { c.seed = seed }
+}
+
+// WithCostSource sets the potential-UE-cost source (default: a constant
+// 100 node–hours).
+func WithCostSource(f CostFunc) LearnerOption {
+	return func(c *learnerConfig) {
+		if f != nil {
+			c.cost = f
+		}
+	}
+}
+
+// WithLearnerMitigationCost sets the per-action mitigation cost in
+// node-minutes (default 2, the paper's main configuration).
+func WithLearnerMitigationCost(nodeMinutes float64) LearnerOption {
+	return func(c *learnerConfig) { c.mitigationCostNodeMinutes = nodeMinutes }
+}
+
+// WithLearnerRestartable selects whether mitigation establishes a restart
+// point (default true), which decides whether caught UEs are charged in
+// shadow accounting.
+func WithLearnerRestartable(restartable bool) LearnerOption {
+	return func(c *learnerConfig) { c.restartable = restartable }
+}
+
+// WithDriftDetection sets the drift threshold (standardized mean-shift
+// score, default 6) and the tumbling-window sample count (default 512).
+func WithDriftDetection(threshold float64, windowSamples int) LearnerOption {
+	return func(c *learnerConfig) {
+		c.driftThreshold = threshold
+		c.driftWindow = windowSamples
+	}
+}
+
+// WithRetraining sets the minimum ingested transitions between retrains
+// (default 512) and the gradient steps per retraining epoch (default 64).
+func WithRetraining(minExperience, epochSteps int) LearnerOption {
+	return func(c *learnerConfig) {
+		c.minExperience = minExperience
+		c.epochSteps = epochSteps
+	}
+}
+
+// WithExperienceCapacity bounds the experience stream (default 16384);
+// overflow drops the oldest transitions and is counted in LearnerStats.
+func WithExperienceCapacity(n int) LearnerOption {
+	return func(c *learnerConfig) { c.streamCapacity = n }
+}
+
+// WithShadowGate sets how much shadow traffic a candidate must score
+// before promotion is judged: a minimum decision count (default 256) and
+// a minimum realized-UE count (default 1). The UE minimum matters: on a
+// UE-free window the cost comparison degenerates to mitigation spend
+// alone, which systematically favors candidates that mitigate less —
+// requiring a realized outcome keeps a do-nothing candidate from winning
+// without evidence about the failures it exists to prevent. Setting
+// minUEs to 0 trades that safety for faster adaptation (a candidate can
+// otherwise sit in shadow until the next UE). Larger gates judge on more
+// evidence but leave drifted models serving longer.
+func WithShadowGate(minDecisions, minUEs int) LearnerOption {
+	return func(c *learnerConfig) {
+		c.shadowMinDecisions = minDecisions
+		c.shadowMinUEs = minUEs
+	}
+}
+
+// WithLearnerNetwork sets the continually trained Q-network's hidden
+// layers (default 32-16; the serving input/output layout is fixed by the
+// feature schema and the two-action decision).
+func WithLearnerNetwork(hidden ...int) LearnerOption {
+	return func(c *learnerConfig) {
+		if len(hidden) > 0 {
+			c.hidden = hidden
+		}
+	}
+}
+
+// defaultLearnerConfig seeds the learner option struct.
+func defaultLearnerConfig() learnerConfig {
+	return learnerConfig{
+		seed:                      1,
+		cost:                      ConstantCost(100),
+		mitigationCostNodeMinutes: 2,
+		restartable:               true,
+		rewardScale:               0.05,
+		driftThreshold:            6,
+		driftWindow:               512,
+		minExperience:             512,
+		epochSteps:                64,
+		streamCapacity:            1 << 14,
+		hidden:                    []int{32, 16},
+		shadowMinDecisions:        256,
+		shadowMinUEs:              1,
+	}
+}
+
 // ceilPow2 rounds n up to the next power of two, clamped to [1, maxShards].
 func ceilPow2(n int) int {
 	if n < 1 {

@@ -104,6 +104,7 @@ func (p *staticPolicy) Decide(s Snapshot) Decision {
 type rfPolicy struct {
 	d        *policies.RFThreshold
 	version  string
+	parent   string
 	training *TrainingInfo
 }
 
@@ -137,6 +138,7 @@ func (p *rfPolicy) Decide(s Snapshot) Decision {
 type myopicPolicy struct {
 	d        *policies.MyopicRF
 	version  string
+	parent   string
 	training *TrainingInfo
 }
 
@@ -171,6 +173,7 @@ func (p *myopicPolicy) Decide(s Snapshot) Decision {
 type rlPolicy struct {
 	q        *rl.SharedQPolicy
 	version  string
+	parent   string
 	training *TrainingInfo
 }
 

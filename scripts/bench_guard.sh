@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# bench_guard.sh — regression guard over the BENCH_<n>.json trajectory.
+#
+# Compares two scripts/bench.sh snapshots within a tolerance band and
+# fails (exit 1) when any benchmark regressed beyond it:
+#
+#   - ns/op:      new > old * (1 + TOLERANCE) is a time regression
+#   - allocs/op:  new > old * (1 + TOLERANCE) AND new - old > 2 is an
+#                 allocation regression (the +2 slack ignores pool warmup
+#                 jitter on benchmarks with single-digit allocation counts)
+#
+# Benchmarks present in only one snapshot are reported but never fail the
+# guard (new benchmarks appear, retired ones disappear).
+#
+# Usage:
+#   scripts/bench_guard.sh                       # two newest BENCH_*.json
+#   scripts/bench_guard.sh OLD.json NEW.json
+#   TOLERANCE=0.5 scripts/bench_guard.sh         # widen the band
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${TOLERANCE:-0.30}"
+
+old="${1:-}"
+new="${2:-}"
+if [ -z "$old" ] || [ -z "$new" ]; then
+  # Pick the two newest numbered snapshots (portable to bash 3.2: no
+  # mapfile, no negative array subscripts — macOS ships bash 3.2).
+  snaps="$(for f in BENCH_*.json; do
+    [ -e "$f" ] || continue
+    n="${f#BENCH_}"; n="${n%.json}"
+    case "$n" in *[!0-9]*) continue ;; esac
+    printf '%d %s\n' "$n" "$f"
+  done | sort -n | awk '{print $2}')"
+  count=0
+  [ -n "$snaps" ] && count="$(printf '%s\n' "$snaps" | wc -l | tr -d ' ')"
+  if [ "$count" -lt 2 ]; then
+    echo "bench_guard: need two BENCH_<n>.json snapshots (have $count); run scripts/bench.sh first" >&2
+    exit 2
+  fi
+  old="$(printf '%s\n' "$snaps" | tail -n 2 | head -n 1)"
+  new="$(printf '%s\n' "$snaps" | tail -n 1)"
+fi
+
+echo "bench_guard: $old -> $new (tolerance ${TOLERANCE})"
+
+awk -v tol="$TOLERANCE" -v oldfile="$old" -v newfile="$new" '
+function parse(file, ns, al,   line, name, rest) {
+    while ((getline line < file) > 0) {
+        if (line !~ /"Benchmark/) continue
+        name = line
+        sub(/^[^"]*"/, "", name); sub(/".*/, "", name)
+        rest = line
+        if (match(rest, /"ns_per_op": *[0-9.eE+-]+/))
+            ns[name] = substr(rest, RSTART + 13, RLENGTH - 13) + 0
+        if (match(rest, /"allocs_per_op": *[0-9.eE+-]+/))
+            al[name] = substr(rest, RSTART + 17, RLENGTH - 17) + 0
+    }
+    close(file)
+}
+BEGIN {
+    parse(oldfile, ons, oal)
+    parse(newfile, nns, nal)
+    fails = 0
+    printf "%-40s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+    for (name in nns) {
+        if (!(name in ons)) { added[name] = 1; continue }
+        dns = (ons[name] > 0) ? (nns[name] / ons[name] - 1) : 0
+        flag = ""
+        if (nns[name] > ons[name] * (1 + tol)) { flag = "  TIME REGRESSION"; fails++ }
+        if ((name in nal) && (name in oal) && \
+            nal[name] > oal[name] * (1 + tol) && nal[name] - oal[name] > 2) {
+            flag = flag "  ALLOC REGRESSION (" oal[name] " -> " nal[name] ")"; fails++
+        }
+        printf "%-40s %12.0f %12.0f %+7.1f%%%s\n", name, ons[name], nns[name], 100 * dns, flag
+    }
+    for (name in ons) if (!(name in nns)) printf "%-40s removed in %s\n", name, newfile
+    for (name in added) printf "%-40s new in %s\n", name, newfile
+    if (fails > 0) {
+        printf "bench_guard: %d regression(s) beyond the %.0f%% band\n", fails, 100 * tol
+        exit 1
+    }
+    print "bench_guard: ok"
+}
+'

@@ -235,14 +235,16 @@ func (s *System) LogStats() telemetry.Stats {
 }
 
 // PolicyCost is one approach's outcome in the cost–benefit analysis.
+// The JSON tags are the stable machine-readable shape emitted by the
+// CLIs' -json modes.
 type PolicyCost struct {
-	Policy         string
-	TotalNodeHours float64
-	UENodeHours    float64
-	MitigationNH   float64
-	Mitigations    int
-	Recall         float64
-	Precision      float64
+	Policy         string  `json:"policy"`
+	TotalNodeHours float64 `json:"total_node_hours"`
+	UENodeHours    float64 `json:"ue_node_hours"`
+	MitigationNH   float64 `json:"mitigation_node_hours"`
+	Mitigations    int     `json:"mitigations"`
+	Recall         float64 `json:"recall"`
+	Precision      float64 `json:"precision"`
 }
 
 // Report is the §5.1 cost–benefit comparison.
