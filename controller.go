@@ -94,6 +94,11 @@ type Controller struct {
 	now    func() time.Time
 	shards []*ctlShard
 	mask   uint64
+	// batchPool recycles ObserveBatch's per-shard bucket sets so batched
+	// ingestion is allocation-free in steady state: the bucket slices grow
+	// to the working batch shape once and are then reused (truncated, not
+	// cleared) across calls, including concurrent ones.
+	batchPool sync.Pool
 }
 
 // NewController builds a serving controller around a policy. Any Policy
@@ -116,6 +121,10 @@ func NewController(policy Policy, opts ...ControllerOption) *Controller {
 	c.policy.Store(&policy)
 	for i := range c.shards {
 		c.shards[i] = &ctlShard{trackers: map[int]*features.Tracker{}}
+	}
+	c.batchPool.New = func() any {
+		b := make([][]Event, n)
+		return &b
 	}
 	return c
 }
@@ -177,7 +186,17 @@ func (c *Controller) ObserveBatch(ctx context.Context, events []Event) (int, err
 	if len(events) == 0 {
 		return 0, nil
 	}
-	buckets := make([][]Event, len(c.shards))
+	bp := c.batchPool.Get().(*[][]Event)
+	buckets := *bp
+	defer func() {
+		// Truncate (keeping capacity) so the next batch reuses the grown
+		// slices; stale Event values behind len are never read.
+		for i := range buckets {
+			buckets[i] = buckets[i][:0]
+		}
+		*bp = buckets
+		c.batchPool.Put(bp)
+	}()
 	for _, e := range events {
 		i := c.shardIndex(e.Node)
 		buckets[i] = append(buckets[i], e)

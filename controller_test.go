@@ -356,3 +356,40 @@ func TestServingPathZeroAlloc(t *testing.T) {
 		t.Fatalf("Recommend allocates %v times per run, want 0", allocs)
 	}
 }
+
+// TestObserveBatchSteadyStateAllocFree: batched ingestion reuses the
+// controller-owned per-shard buckets, so after the buckets and trackers
+// have grown to the working shape a batch allocates nothing.
+func TestObserveBatchSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation makes sync.Pool allocate")
+	}
+	ctl := NewController(AlwaysPolicy(), WithShards(8))
+	base := time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	batch := benchEvents(1024, 256, base)
+	span := batch[len(batch)-1].Time.Sub(batch[0].Time) + time.Second
+	ctx := context.Background()
+	advance := func() {
+		for j := range batch {
+			batch[j].Time = batch[j].Time.Add(span)
+		}
+	}
+	// Warm up: grow the pooled buckets and the per-node tracker state
+	// (the history rings keep filling until the 2h compaction window is
+	// covered, which takes several batches of advancing timestamps).
+	for i := 0; i < 16; i++ {
+		if _, err := ctl.ObserveBatch(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+		advance()
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		advance()
+		if _, err := ctl.ObserveBatch(ctx, batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("ObserveBatch allocates %v times per batch, want ~0", allocs)
+	}
+}

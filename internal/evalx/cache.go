@@ -1,0 +1,252 @@
+package evalx
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/errlog"
+	"repro/internal/jobs"
+	"repro/internal/rf"
+)
+
+// Cache memoizes the evaluation artifacts that are invariant across figure
+// runs, so regenerating the full §5 suite reuses work instead of
+// recomputing it:
+//
+//   - the preprocessed / merged / per-node-grouped tick pipeline and the
+//     flat sorted UE-time index, keyed by log identity;
+//   - the node-weighted job sampler, keyed by trace identity;
+//   - per-split RF training sets and trained forests, keyed by
+//     (log, train boundary, forest-config hash) — invariant across
+//     mitigation costs, which is why Figure 3's three cost points share one
+//     forest per split;
+//   - SC20-RF optimal thresholds, keyed additionally by the replay
+//     environment and window (they do depend on the mitigation cost).
+//
+// Logs and traces handed to a cached run must not be mutated afterwards;
+// keys are pointer identities. Every artifact is a deterministic function
+// of its key, so concurrent duplicate computation is harmless (last write
+// wins with an identical value). A nil *Cache is valid and disables
+// memoization, so all entry points take an optional cache.
+//
+// Wallclock training costs are part of the §4.3 accounting: each forest
+// and threshold artifact records the cost measured when it was first
+// computed, and cache hits charge that recorded cost, keeping rendered
+// figures consistent between cold and warm runs.
+type Cache struct {
+	mu         sync.Mutex
+	ticks      map[*errlog.Log]*TickArtifacts
+	samplers   map[*jobs.Job]*jobs.Sampler
+	datasets   map[datasetKey]RFDataset
+	forests    map[forestKey]*forestArtifact
+	thresholds map[thresholdKey]*thresholdArtifact
+}
+
+// NewCache returns an empty artifact cache.
+func NewCache() *Cache {
+	return &Cache{
+		ticks:      map[*errlog.Log]*TickArtifacts{},
+		samplers:   map[*jobs.Job]*jobs.Sampler{},
+		datasets:   map[datasetKey]RFDataset{},
+		forests:    map[forestKey]*forestArtifact{},
+		thresholds: map[thresholdKey]*thresholdArtifact{},
+	}
+}
+
+// TickArtifacts is the memoized tick pipeline of one log.
+type TickArtifacts struct {
+	// Pre is the preprocessed log (sorted, retirement-bias filtered, UE
+	// bursts reduced).
+	Pre *errlog.Log
+	// ByNode holds the merged per-node tick sequences.
+	ByNode [][]errlog.Tick
+	// UETimes is the flat, sorted index of every UE event time in ByNode,
+	// backing the O(log n) window queries the split loops perform.
+	UETimes []time.Time
+}
+
+type datasetKey struct {
+	log     *errlog.Log
+	trainTo int64 // UnixNano
+}
+
+type forestKey struct {
+	log     *errlog.Log
+	trainTo int64
+	cfg     rf.ForestConfig
+}
+
+type forestArtifact struct {
+	forest *rf.Forest
+	// trained reports whether the training set had positive samples; a
+	// degenerate (never-firing) early-split forest skips the threshold
+	// search.
+	trained bool
+	// costHours is the wallclock spent building the dataset and training
+	// the forest when this artifact was computed (§4.3 training cost).
+	costHours float64
+}
+
+type thresholdKey struct {
+	forest   *rf.Forest
+	sampler  *jobs.Sampler
+	env      env.Config
+	jobSeed  int64
+	from, to int64
+}
+
+type thresholdArtifact struct {
+	threshold float64
+	costHours float64
+}
+
+// buildTickArtifacts runs the uncached pipeline.
+func buildTickArtifacts(log *errlog.Log) *TickArtifacts {
+	pre := errlog.Preprocess(log)
+	byNode := env.GroupTicks(errlog.Merge(pre, errlog.MergeWindow))
+	return &TickArtifacts{Pre: pre, ByNode: byNode, UETimes: ueTimeIndex(byNode)}
+}
+
+// Ticks returns the memoized tick pipeline for log, computing it on first
+// use. A nil cache computes it fresh.
+func (c *Cache) Ticks(log *errlog.Log) *TickArtifacts {
+	if c == nil {
+		return buildTickArtifacts(log)
+	}
+	c.mu.Lock()
+	art := c.ticks[log]
+	c.mu.Unlock()
+	if art != nil {
+		return art
+	}
+	art = buildTickArtifacts(log)
+	c.mu.Lock()
+	c.ticks[log] = art
+	c.mu.Unlock()
+	return art
+}
+
+// Sampler returns the memoized node-weighted sampler for trace. Keying by
+// the trace's backing array identity keeps one sampler per generated
+// trace, which in turn lets threshold artifacts key on sampler identity.
+func (c *Cache) Sampler(trace []jobs.Job) *jobs.Sampler {
+	if c == nil || len(trace) == 0 {
+		return jobs.NewSampler(trace)
+	}
+	key := &trace[0]
+	c.mu.Lock()
+	s := c.samplers[key]
+	c.mu.Unlock()
+	if s != nil {
+		return s
+	}
+	s = jobs.NewSampler(trace)
+	c.mu.Lock()
+	c.samplers[key] = s
+	c.mu.Unlock()
+	return s
+}
+
+// dataset returns the memoized RF training set for ticks before trainTo.
+func (c *Cache) dataset(log *errlog.Log, byNode [][]errlog.Tick, trainTo time.Time) RFDataset {
+	build := func() RFDataset {
+		return BuildRFDataset(ticksUpTo(byNode, trainTo), time.Time{}, trainTo)
+	}
+	if c == nil {
+		return build()
+	}
+	key := datasetKey{log: log, trainTo: trainTo.UnixNano()}
+	c.mu.Lock()
+	ds, ok := c.datasets[key]
+	c.mu.Unlock()
+	if ok {
+		return ds
+	}
+	ds = build()
+	c.mu.Lock()
+	c.datasets[key] = ds
+	c.mu.Unlock()
+	return ds
+}
+
+// forest returns the memoized trained forest for (log, trainTo, cfg),
+// whether its training set had positives, and the §4.3 training cost to
+// charge. On first use it builds (or reuses) the dataset and trains via
+// train; the recorded cost is the wallclock of dataset construction plus
+// training, matching what the uncached path used to measure.
+func (c *Cache) forest(log *errlog.Log, byNode [][]errlog.Tick, trainTo time.Time, cfg rf.ForestConfig, train func(RFDataset) (*rf.Forest, bool)) (*rf.Forest, bool, float64) {
+	if c == nil {
+		start := time.Now()
+		f, trained := train(BuildRFDataset(ticksUpTo(byNode, trainTo), time.Time{}, trainTo))
+		return f, trained, time.Since(start).Hours()
+	}
+	key := forestKey{log: log, trainTo: trainTo.UnixNano(), cfg: cfg}
+	c.mu.Lock()
+	art := c.forests[key]
+	c.mu.Unlock()
+	if art != nil {
+		return art.forest, art.trained, art.costHours
+	}
+	start := time.Now()
+	f, trained := train(c.dataset(log, byNode, trainTo))
+	cost := time.Since(start).Hours()
+	c.mu.Lock()
+	c.forests[key] = &forestArtifact{forest: f, trained: trained, costHours: cost}
+	c.mu.Unlock()
+	return f, trained, cost
+}
+
+// threshold returns the memoized optimal threshold for the forest under
+// the given replay configuration, searching on first use.
+func (c *Cache) threshold(forest *rf.Forest, byNode [][]errlog.Tick, sampler *jobs.Sampler, cfg ReplayConfig) (float64, float64) {
+	search := func() (float64, float64) {
+		start := time.Now()
+		thr, _ := OptimalThreshold(forest, nil, byNode, sampler, cfg)
+		return thr, time.Since(start).Hours()
+	}
+	if c == nil {
+		return search()
+	}
+	key := thresholdKey{
+		forest: forest, sampler: sampler, env: cfg.Env,
+		jobSeed: cfg.JobSeed, from: cfg.From.UnixNano(), to: cfg.To.UnixNano(),
+	}
+	c.mu.Lock()
+	art := c.thresholds[key]
+	c.mu.Unlock()
+	if art != nil {
+		return art.threshold, art.costHours
+	}
+	thr, cost := search()
+	c.mu.Lock()
+	c.thresholds[key] = &thresholdArtifact{threshold: thr, costHours: cost}
+	c.mu.Unlock()
+	return thr, cost
+}
+
+// ueTimeIndex collects every UE event time in the per-node sequences into
+// one sorted slice — the precomputed index behind hasUEIn.
+func ueTimeIndex(byNode [][]errlog.Tick) []time.Time {
+	var out []time.Time
+	for _, ticks := range byNode {
+		for _, tick := range ticks {
+			if tick.HasUE() {
+				out = append(out, ueEventTime(tick))
+			}
+		}
+	}
+	sortTimes(out)
+	return out
+}
+
+// sortTimes sorts in place (UE times arrive near-sorted, so insertion sort
+// on the rare out-of-order element is plenty — the slice has tens of
+// entries at paper scale).
+func sortTimes(ts []time.Time) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].Before(ts[j-1]); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package evalx
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/errlog"
+	"repro/internal/features"
+	"repro/internal/jobs"
+	"repro/internal/mathx"
+	"repro/internal/parx"
+	"repro/internal/policies"
+)
+
+// This file implements the single-pass multi-policy replay engine. The
+// legacy path (Replay, one policy per full walk) remains the reference
+// implementation; ReplayAll produces bit-identical Results while walking
+// each node's tick stream exactly once for all N policies.
+//
+// What makes a single shared walk possible:
+//
+//   - The feature tracker's state depends only on the tick stream, never on
+//     the supplied potential UE cost (which only fills the returned
+//     vector's UECost slot), so one tracker serves every policy.
+//   - The job timeline's job sequence and RNG draws depend only on time and
+//     UE events; a mitigation moves nothing but the cost baseline
+//     (env.Timeline.Mitigate). The engine keeps one mitigation-free
+//     timeline and reconstructs each policy's effective cost as
+//     nodes × (t − max(jobStart, lastMitigation)) — exactly the value the
+//     legacy per-policy timeline would report.
+//   - All policies replayed under one ReplayConfig consume identical RNG
+//     streams in the legacy path (each Replay reseeds from JobSeed), so
+//     forking once per node reproduces every policy's draws.
+//
+// Per decision point the engine materializes the feature snapshot once and
+// hands it to every decider: BatchDeciders (the §4.2 set) read it in place
+// and share one memoized forest score (policies.Shared.RFProb); everything
+// else falls back to Decide on a per-decider vector copy, so stateful or
+// external deciders need no changes.
+
+// policyState is the per-(node, policy) divergent replay state: the §4.4
+// mitigation window and the cost baseline of the latest mitigation.
+type policyState struct {
+	mitigations []time.Time
+	lastMit     time.Time
+	hasMit      bool
+}
+
+// engineScratch holds the reusable per-worker state of the single-pass
+// engine, recycled across nodes through a pool.
+type engineScratch struct {
+	tracker *features.Tracker
+	ps      []policyState
+	shared  policies.Shared
+}
+
+var engineScratchPool = sync.Pool{New: func() any {
+	return &engineScratch{tracker: features.NewTracker()}
+}}
+
+// reset prepares the scratch for a node replayed against np policies.
+func (sc *engineScratch) reset(np int) {
+	sc.tracker.Reset()
+	if cap(sc.ps) < np {
+		sc.ps = make([]policyState, np)
+	}
+	sc.ps = sc.ps[:np]
+	for i := range sc.ps {
+		sc.ps[i].mitigations = sc.ps[i].mitigations[:0]
+		sc.ps[i].lastMit = time.Time{}
+		sc.ps[i].hasMit = false
+	}
+}
+
+// ReplayAll evaluates several policies under identical workloads in a
+// single pass: for each node the tick stream is walked once, the feature
+// snapshot, job context and (lazily) the RF score are materialized once
+// per decision point, and every decider is scored against that shared
+// state. Results are bit-identical to calling Replay once per decider —
+// the equivalence tests in engine_test.go enforce exactly that.
+//
+// Nodes fan out across the bounded worker pool like Replay; if any decider
+// is not concurrency-safe the whole set replays serially (decisions for
+// all policies are interleaved on one worker, which preserves each
+// decider's own call order).
+func ReplayAll(ds []policies.Decider, ticksByNode [][]errlog.Tick, sampler *jobs.Sampler, cfg ReplayConfig) []Result {
+	out := make([]Result, len(ds))
+	for i, d := range ds {
+		out[i] = Result{Policy: d.Name()}
+	}
+	if len(ds) == 0 {
+		return out
+	}
+
+	batch := make([]policies.BatchDecider, len(ds))
+	for i, d := range ds {
+		if bd, ok := d.(policies.BatchDecider); ok {
+			batch[i] = bd
+		}
+	}
+
+	rng := mathx.NewRNG(cfg.JobSeed)
+	type nodeWork struct {
+		ticks []errlog.Tick
+		rng   *mathx.RNG
+	}
+	work := make([]nodeWork, 0, len(ticksByNode))
+	for _, ticks := range ticksByNode {
+		if len(ticks) == 0 {
+			continue
+		}
+		work = append(work, nodeWork{ticks: ticks, rng: rng.Fork()})
+	}
+
+	workers := parx.Workers(cfg.Parallelism)
+	for _, d := range ds {
+		if !policies.IsConcurrentSafe(d) {
+			workers = 1
+			break
+		}
+	}
+
+	partials := make([][]Result, len(work))
+	flat := make([]Result, len(work)*len(ds))
+	for i := range partials {
+		partials[i] = flat[i*len(ds) : (i+1)*len(ds)]
+	}
+	parx.For(len(work), workers, func(i int) {
+		sc := engineScratchPool.Get().(*engineScratch)
+		sc.reset(len(ds))
+		replayNodeAll(ds, batch, work[i].ticks, sampler, cfg, work[i].rng, sc, partials[i])
+		engineScratchPool.Put(sc)
+	})
+
+	// Reduce in node order per policy: the same accumulation order as the
+	// legacy per-policy Replay, so sums match bit for bit.
+	for _, part := range partials {
+		for pi := range part {
+			out[pi].Add(part[pi])
+		}
+	}
+	for pi := range out {
+		out[pi].Metrics.FPs = out[pi].Metrics.Mitigations - out[pi].Metrics.TPs
+		out[pi].Metrics.TNs = out[pi].Metrics.NonMitigations - out[pi].Metrics.FNs
+	}
+	return out
+}
+
+// replayNodeAll replays one node's tick sequence for every decider at
+// once, accumulating each decider's partial Result into out.
+func replayNodeAll(ds []policies.Decider, batch []policies.BatchDecider, ticks []errlog.Tick, sampler *jobs.Sampler, cfg ReplayConfig, rng *mathx.RNG, sc *engineScratch, out []Result) {
+	tracker := sc.tracker
+	tl := env.NewTimeline(sampler, rng.Fork(), cfg.Env.Restartable, ticks[0].Time)
+	costRNG := rng.Fork()
+	mitCost := cfg.Env.MitigationCostNodeHours()
+	overhead := time.Duration(cfg.Env.MitigationCostNodeMinutes * float64(time.Minute))
+	restartable := cfg.Env.Restartable
+	override := cfg.CostOverride != nil
+
+	ps := sc.ps
+	var lastEvent time.Time
+	var haveEvent bool
+	lastOverride := 0.0
+
+	for _, tick := range ticks {
+		tl.AdvanceTo(tick.Time)
+		if tick.HasUE() {
+			ut := ueEventTime(tick)
+			// Capture the job context before OnUE replaces the job, then
+			// let the shared (mitigation-free) timeline account the UE: its
+			// cost is the no-mitigation baseline every policy shares unless
+			// its own mitigation moved the baseline forward.
+			jobNodes := float64(tl.Job().Nodes)
+			jobStart := tl.JobStart()
+			sharedCost := tl.OnUE(ut)
+			tracker.Observe(tick, 0)
+			if cfg.inWindow(ut) {
+				unreachable := !haveEvent || ut.Sub(lastEvent) > PredictionWindow
+				for pi := range ps {
+					st := &ps[pi]
+					cost := sharedCost
+					if override {
+						cost = lastOverride
+					} else if restartable && st.hasMit && st.lastMit.After(jobStart) {
+						lost := ut.Sub(st.lastMit)
+						if lost < 0 {
+							lost = 0
+						}
+						cost = jobNodes * lost.Hours()
+					}
+					res := &out[pi]
+					res.UEs++
+					res.UECost += cost
+					// §4.4: TP if a mitigation completed within the
+					// preceding 24 h; otherwise FN (see replayNode).
+					mitigated := false
+					for i := len(st.mitigations) - 1; i >= 0; i-- {
+						dt := ut.Sub(st.mitigations[i])
+						if dt > PredictionWindow {
+							break
+						}
+						if dt >= overhead {
+							mitigated = true
+							break
+						}
+					}
+					if mitigated {
+						res.Metrics.TPs++
+					} else {
+						res.Metrics.FNs++
+						if unreachable {
+							res.Metrics.NonMitigations++
+						}
+					}
+				}
+			}
+			lastEvent, haveEvent = ut, true
+			continue
+		}
+
+		sharedCost := tl.CostAt(tick.Time)
+		if override {
+			sharedCost = cfg.CostOverride(costRNG)
+			lastOverride = sharedCost
+		}
+		v := tracker.Observe(tick, sharedCost)
+		sc.shared.Reset(tick.Node, tick.Time, v)
+		jobNodes := float64(tl.Job().Nodes)
+		jobStart := tl.JobStart()
+		inWin := cfg.inWindow(tick.Time)
+		for pi := range ps {
+			st := &ps[pi]
+			cost := sharedCost
+			if !override && restartable && st.hasMit && st.lastMit.After(jobStart) {
+				lost := tick.Time.Sub(st.lastMit)
+				if lost < 0 {
+					lost = 0
+				}
+				cost = jobNodes * lost.Hours()
+			}
+			var mitigate bool
+			if bd := batch[pi]; bd != nil {
+				mitigate = bd.DecideShared(&sc.shared, cost)
+			} else {
+				ctx := policies.Context{Node: tick.Node, Time: tick.Time, Features: v}
+				ctx.Features[features.UECost] = cost
+				mitigate = ds[pi].Decide(ctx)
+			}
+			if mitigate {
+				st.lastMit, st.hasMit = tick.Time, true
+				st.mitigations = append(st.mitigations, tick.Time)
+				// Trim the window to bound memory (as in replayNode).
+				if len(st.mitigations) > 64 {
+					st.mitigations = st.mitigations[len(st.mitigations)-64:]
+				}
+			}
+			if inWin {
+				res := &out[pi]
+				res.Decisions++
+				if mitigate {
+					res.MitigationCost += mitCost
+					res.Metrics.Mitigations++
+				} else {
+					res.Metrics.NonMitigations++
+				}
+			}
+		}
+		lastEvent, haveEvent = tick.Time, true
+	}
+}

@@ -258,15 +258,6 @@ func ueEventTime(t errlog.Tick) time.Time {
 	return t.Time
 }
 
-// ReplayAll evaluates several policies under identical workloads.
-func ReplayAll(ds []policies.Decider, ticksByNode [][]errlog.Tick, sampler *jobs.Sampler, cfg ReplayConfig) []Result {
-	out := make([]Result, len(ds))
-	for i, d := range ds {
-		out[i] = Replay(d, ticksByNode, sampler, cfg)
-	}
-	return out
-}
-
 // OracleOverhead is the mitigation completion overhead assumed when
 // building the Oracle set (2 node–minutes, §3.2.5): a mitigation closer to
 // the UE than this cannot complete in time, so the Oracle skips it.

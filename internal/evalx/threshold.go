@@ -16,20 +16,30 @@ var DefaultThresholdGrid = []float64{
 	0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95,
 }
 
-// OptimalThreshold replays the RF-threshold policy for each candidate and
-// returns the threshold minimizing total cost on the given (training)
-// window. The cost of this search is the "hidden cost" §5.1 notes is not
-// charged to SC20-RF.
+// OptimalThreshold scores every candidate threshold and returns the one
+// minimizing total cost on the given (training) window. The cost of this
+// search is the "hidden cost" §5.1 notes is not charged to SC20-RF.
+//
+// The whole grid is scored from one pass over the tick stream: the
+// single-pass engine evaluates the forest once per decision point and the
+// N threshold policies merely compare that shared score (see
+// policies.Shared.RFProb), collapsing the legacy O(grid × ticks) search to
+// O(ticks). Per-threshold results are bit-identical to replaying each
+// candidate separately, so the selected threshold is unchanged.
 func OptimalThreshold(forest *rf.Forest, grid []float64, ticksByNode [][]errlog.Tick, sampler *jobs.Sampler, cfg ReplayConfig) (best float64, bestCost float64) {
 	if len(grid) == 0 {
 		grid = DefaultThresholdGrid
 	}
+	ds := make([]policies.Decider, len(grid))
+	for i, thr := range grid {
+		ds[i] = &policies.RFThreshold{Forest: forest, Threshold: thr}
+	}
+	results := ReplayAll(ds, ticksByNode, sampler, cfg)
 	best = grid[0]
 	first := true
-	for _, thr := range grid {
-		res := Replay(&policies.RFThreshold{Forest: forest, Threshold: thr}, ticksByNode, sampler, cfg)
+	for i, res := range results {
 		if first || res.TotalCost() < bestCost {
-			best, bestCost, first = thr, res.TotalCost(), false
+			best, bestCost, first = grid[i], res.TotalCost(), false
 		}
 	}
 	return best, bestCost

@@ -3,13 +3,13 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"repro/internal/env"
 	"repro/internal/errlog"
 	"repro/internal/evalx"
 	"repro/internal/features"
-	"repro/internal/jobs"
 	"repro/internal/policies"
 	"repro/internal/rl"
 )
@@ -27,11 +27,10 @@ type AblationResult struct {
 // RunAblation trains and evaluates the ablation variants.
 func RunAblation(w *World) AblationResult {
 	cfg := w.cvConfig(2)
-	pre := errlog.Preprocess(w.Log)
-	ticks := errlog.Merge(pre, errlog.MergeWindow)
-	byNode := env.GroupTicks(ticks)
-	sampler := jobs.NewSampler(w.Trace)
-	first, last := pre.Span()
+	art := w.cache.Ticks(w.Log)
+	byNode := art.ByNode
+	sampler := w.cache.Sampler(w.Trace)
+	first, last := art.Pre.Span()
 	trainTo := first.Add(time.Duration(float64(last.Sub(first)) * 0.6))
 	trainTicks := trimTicks(byNode, trainTo)
 
@@ -106,14 +105,14 @@ func ablationEpisodes(p evalx.Preset) int {
 	}
 }
 
-// trimTicks trims each node's sequence to ticks strictly before t.
+// trimTicks trims each node's sequence to ticks strictly before t (binary
+// search; per-node sequences are time-sorted).
 func trimTicks(byNode [][]errlog.Tick, t time.Time) [][]errlog.Tick {
 	out := make([][]errlog.Tick, 0, len(byNode))
 	for _, ticks := range byNode {
-		end := len(ticks)
-		for end > 0 && !ticks[end-1].Time.Before(t) {
-			end--
-		}
+		end := sort.Search(len(ticks), func(i int) bool {
+			return !ticks[i].Time.Before(t)
+		})
 		if end > 0 {
 			out = append(out, ticks[:end])
 		}

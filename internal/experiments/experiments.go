@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"repro/internal/errlog"
 	"repro/internal/evalx"
@@ -51,13 +52,24 @@ func ScaleFor(p evalx.Preset) Scale {
 }
 
 // World is the synthetic input shared by all experiments: the MN3-style
-// error log and the MN4-style job trace.
+// error log and the MN4-style job trace, plus the cross-figure artifact
+// cache. Every Run* entry point evaluates through the cache, so the
+// config-invariant artifacts — the preprocessed/merged/grouped tick
+// pipeline, per-split RF datasets and trained forests (invariant across
+// mitigation costs), optimal thresholds and manufacturer partitions — are
+// computed once per World and reused by the whole figure suite. Figure
+// output is byte-identical with the cache disabled (see DisableCache and
+// the equivalence test in render_test.go).
 type World struct {
 	Scale Scale
 	Log   *errlog.Log
 	Trace []jobs.Job
 	TCfg  telemetry.Config
 	JCfg  jobs.Config
+
+	cache  *evalx.Cache
+	partMu sync.Mutex
+	parts  map[errlog.Manufacturer]*errlog.Log
 }
 
 // BuildWorld generates the synthetic world for a scale.
@@ -78,7 +90,34 @@ func BuildWorld(s Scale) *World {
 		Trace: jobs.Generate(jcfg),
 		TCfg:  tcfg,
 		JCfg:  jcfg,
+		cache: evalx.NewCache(),
+		parts: map[errlog.Manufacturer]*errlog.Log{},
 	}
+}
+
+// Cache exposes the world's artifact cache (nil after DisableCache).
+func (w *World) Cache() *evalx.Cache { return w.cache }
+
+// DisableCache turns artifact memoization off for this world: every
+// figure run recomputes its pipeline and models from scratch (the legacy
+// behaviour). Used by the cold-vs-cached equivalence tests.
+func (w *World) DisableCache() { w.cache = nil }
+
+// Partition returns the per-manufacturer sub-log, memoized so repeated
+// Figure 5 runs (and their downstream tick/forest artifacts, keyed by log
+// identity) reuse one partition instead of rebuilding it.
+func (w *World) Partition(m errlog.Manufacturer) *errlog.Log {
+	if w.cache == nil {
+		return w.Log.PartitionManufacturer(m)
+	}
+	w.partMu.Lock()
+	defer w.partMu.Unlock()
+	if part, ok := w.parts[m]; ok {
+		return part
+	}
+	part := w.Log.PartitionManufacturer(m)
+	w.parts[m] = part
+	return part
 }
 
 // cvConfig builds the evaluation config for this world.
@@ -87,6 +126,7 @@ func (w *World) cvConfig(mitigationNodeMinutes float64) evalx.CVConfig {
 	cfg.Parts = w.Scale.Parts
 	cfg.Seed = w.Scale.Seed
 	cfg.Env.MitigationCostNodeMinutes = mitigationNodeMinutes
+	cfg.Cache = w.cache
 	return cfg
 }
 

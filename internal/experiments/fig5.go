@@ -28,7 +28,7 @@ func RunFig5(w *World) Fig5Result {
 
 	var abc evalx.CVResult
 	for m := errlog.Manufacturer(0); m < errlog.NumManufacturers; m++ {
-		part := w.Log.PartitionManufacturer(m)
+		part := w.Partition(m)
 		cv := evalx.RunCV(part, w.Trace, cfg)
 		res.Labels = append(res.Labels, "MN/"+m.String())
 		res.Runs = append(res.Runs, cv)

@@ -133,7 +133,18 @@ type Sampler struct {
 	cum    []float64 // cumulative node-count weights
 	total  float64
 	maxJob float64 // largest node-hours in the trace
+	// lut is an equi-probability bucket index over cum: lut[k] is the
+	// first index whose cumulative weight reaches bucket k's lower bound,
+	// so a draw binary-searches only within one bucket (O(1) expected)
+	// instead of the whole trace. The draw and the selected index are
+	// identical to a plain SearchFloat64s over cum — the replay engine
+	// samples jobs on every tick gap, making this lookup a hot path.
+	lut []int32
 }
+
+// samplerBucketsPerJob sizes the lookup table relative to the trace so the
+// expected bucket occupancy is below one job.
+const samplerBucketsPerJob = 1
 
 // NewSampler builds a node-weighted sampler over trace. It panics on an
 // empty trace.
@@ -151,13 +162,44 @@ func NewSampler(trace []Job) *Sampler {
 		}
 	}
 	s.total = run
+
+	nb := len(trace) * samplerBucketsPerJob
+	s.lut = make([]int32, nb+1)
+	idx := 0
+	for k := 0; k <= nb; k++ {
+		bound := s.total * float64(k) / float64(nb)
+		for idx < len(s.cum) && s.cum[idx] < bound {
+			idx++
+		}
+		s.lut[k] = int32(idx)
+	}
 	return s
 }
 
 // Sample draws one job, weighted by node count.
 func (s *Sampler) Sample(rng *mathx.RNG) Job {
 	x := rng.Float64() * s.total
-	idx := sort.SearchFloat64s(s.cum, x)
+	// Narrow to the bucket containing x, then search only that range, and
+	// finally nudge against the exact SearchFloat64s invariant (smallest i
+	// with cum[i] >= x) in case float rounding at a bucket boundary placed
+	// the bracket one slot off. cum is strictly increasing (every job has
+	// at least one node), so the nudge loops run at most once in practice.
+	nb := len(s.lut) - 1
+	k := int(x / s.total * float64(nb))
+	if k >= nb {
+		k = nb - 1
+	}
+	lo, hi := int(s.lut[k]), int(s.lut[k+1])
+	if hi < len(s.cum) {
+		hi++
+	}
+	idx := lo + sort.SearchFloat64s(s.cum[lo:hi], x)
+	for idx > 0 && s.cum[idx-1] >= x {
+		idx--
+	}
+	for idx < len(s.cum) && s.cum[idx] < x {
+		idx++
+	}
 	if idx >= len(s.jobs) {
 		idx = len(s.jobs) - 1
 	}

@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"time"
 
@@ -180,5 +181,64 @@ func TestStatsEmpty(t *testing.T) {
 	st := Stats(nil)
 	if st.Count != 0 || st.MaxNodeHours != 0 {
 		t.Fatal("empty stats should be zero")
+	}
+}
+
+// TestSamplerBucketIndexMatchesFullSearch: the bucket-index fast path must
+// select exactly the job a full binary search over the cumulative weights
+// would, for draws spanning the whole range including bucket boundaries.
+func TestSamplerBucketIndexMatchesFullSearch(t *testing.T) {
+	trace := Generate(Config{Seed: 9, Count: 2000, MaxNodes: 3456, NodesAlpha: 0.75,
+		DurationMedianHours: 3, DurationSigma: 1.4, MaxDurationHours: 72, SizeScale: 1})
+	s := NewSampler(trace)
+	ref := func(x float64) int {
+		idx := sort.SearchFloat64s(s.cum, x)
+		if idx >= len(s.jobs) {
+			idx = len(s.jobs) - 1
+		}
+		return idx
+	}
+	// Random draws: the fast path and the reference must consume one
+	// Float64 each and agree on the job.
+	rngA, rngB := mathx.NewRNG(4), mathx.NewRNG(4)
+	for i := 0; i < 20000; i++ {
+		got := s.Sample(rngA)
+		want := s.jobs[ref(rngB.Float64()*s.total)]
+		if got != want {
+			t.Fatalf("draw %d: fast %+v != reference %+v", i, got, want)
+		}
+	}
+	// Exact boundary values: cumulative weights and bucket bounds.
+	for i := 0; i < len(s.cum); i += 97 {
+		for _, x := range []float64{s.cum[i], math.Nextafter(s.cum[i], 0), math.Nextafter(s.cum[i], s.total)} {
+			lutIdx := func() int {
+				nb := len(s.lut) - 1
+				k := int(x / s.total * float64(nb))
+				if k < 0 {
+					k = 0
+				}
+				if k >= nb {
+					k = nb - 1
+				}
+				lo, hi := int(s.lut[k]), int(s.lut[k+1])
+				if hi < len(s.cum) {
+					hi++
+				}
+				idx := lo + sort.SearchFloat64s(s.cum[lo:hi], x)
+				for idx > 0 && s.cum[idx-1] >= x {
+					idx--
+				}
+				for idx < len(s.cum) && s.cum[idx] < x {
+					idx++
+				}
+				if idx >= len(s.jobs) {
+					idx = len(s.jobs) - 1
+				}
+				return idx
+			}()
+			if lutIdx != ref(x) {
+				t.Fatalf("x=%v: lut index %d != reference %d", x, lutIdx, ref(x))
+			}
+		}
 	}
 }

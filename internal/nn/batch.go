@@ -55,55 +55,104 @@ func (n *Network) NewBatchScratch(batch int) *BatchScratch {
 }
 
 // forwardBatch computes y[s] = W x[s] + b for nb samples, optionally fusing
-// the ReLU activation. The loop is output-major so each weight row is
-// streamed from memory once per batch instead of once per sample — the
-// GEMM-style blocking that makes batched DQN training cheap. Per-sample
-// arithmetic matches dense.forward exactly (shared dot kernel).
+// the ReLU activation. Weight rows are processed in register-blocked pairs
+// (dot2): each pair streams the batch's inputs once and computes two
+// outputs per pass, roughly halving kernel-call overhead and input loads —
+// the GEMM-style blocking that makes batched DQN training cheap.
+// Per-sample, per-output arithmetic matches dense.forward exactly (each
+// row keeps dot's lane structure), so batched outputs stay bit-identical
+// to the serial path.
 func (d *dense) forwardBatch(x, y []float64, nb int, relu bool) {
-	for o := 0; o < d.out; o++ {
-		row := d.w.W[o*d.in : (o+1)*d.in]
-		bias := d.b.W[o]
+	in, out := d.in, d.out
+	var o int
+	for o = 0; o+2 <= out; o += 2 {
+		rowA := d.w.W[o*in : o*in+in]
+		rowB := d.w.W[o*in+in : o*in+2*in]
+		biasA, biasB := d.b.W[o], d.b.W[o+1]
+		xi, yi := 0, o
 		for s := 0; s < nb; s++ {
-			sum := bias + dot(row, x[s*d.in:(s+1)*d.in])
+			sa, sb := dot2(rowA, rowB, x[xi:xi+in])
+			sa = biasA + sa
+			sb = biasB + sb
+			if relu {
+				if sa < 0 {
+					sa = 0
+				}
+				if sb < 0 {
+					sb = 0
+				}
+			}
+			y[yi] = sa
+			y[yi+1] = sb
+			xi += in
+			yi += out
+		}
+	}
+	if o < out {
+		row := d.w.W[o*in : o*in+in]
+		bias := d.b.W[o]
+		xi, yi := 0, o
+		for s := 0; s < nb; s++ {
+			sum := bias + dot(row, x[xi:xi+in])
 			if relu && sum < 0 {
 				sum = 0
 			}
-			y[s*d.out+o] = sum
+			y[yi] = sum
+			xi += in
+			yi += out
 		}
 	}
 }
 
 // backwardBatch accumulates parameter gradients over nb samples and, when
 // dx is non-nil, writes per-sample input gradients. Accumulation order per
-// weight is sample-ascending, identical to nb sequential dense.backward
-// calls, so batched training reproduces serial gradients bit for bit.
+// weight is sample-ascending and the g == 0 skips are preserved exactly,
+// identical to nb sequential dense.backward calls, so batched training
+// reproduces serial gradients bit for bit. The input-gradient loop blocks
+// weight-row pairs (axpy2) to stream each sample's gradient row once per
+// two outputs.
 func (d *dense) backwardBatch(x, dy, dx []float64, nb int) {
-	for o := 0; o < d.out; o++ {
-		grow := d.w.G[o*d.in : (o+1)*d.in]
+	in, out := d.in, d.out
+	for o := 0; o < out; o++ {
+		grow := d.w.G[o*in : (o+1)*in]
 		gb := d.b.G[o]
+		di, xi := o, 0
 		for s := 0; s < nb; s++ {
-			g := dy[s*d.out+o]
-			if g == 0 {
-				continue
+			if g := dy[di]; g != 0 {
+				gb += g
+				axpy(g, x[xi:xi+in], grow)
 			}
-			gb += g
-			axpy(g, x[s*d.in:(s+1)*d.in], grow)
+			di += out
+			xi += in
 		}
 		d.b.G[o] = gb
 	}
 	if dx != nil {
+		xi := 0
 		for s := 0; s < nb; s++ {
-			dxs := dx[s*d.in : (s+1)*d.in]
+			dxs := dx[xi : xi+in]
 			for i := range dxs {
 				dxs[i] = 0
 			}
-			for o := 0; o < d.out; o++ {
-				g := dy[s*d.out+o]
-				if g == 0 {
-					continue
+			base := s * out
+			var o int
+			for o = 0; o+2 <= out; o += 2 {
+				g0, g1 := dy[base+o], dy[base+o+1]
+				switch {
+				case g0 != 0 && g1 != 0:
+					axpy2(g0, d.w.W[o*in:o*in+in], g1, d.w.W[o*in+in:o*in+2*in], dxs)
+				case g0 != 0:
+					axpy(g0, d.w.W[o*in:o*in+in], dxs)
+				case g1 != 0:
+					axpy(g1, d.w.W[o*in+in:o*in+2*in], dxs)
 				}
-				axpy(g, d.w.W[o*d.in:(o+1)*d.in], dxs)
 			}
+			if o < out {
+				if g := dy[base+o]; g != 0 {
+					axpy(g, d.w.W[o*in:o*in+in], dxs)
+				}
+			}
+			xi += in
 		}
 	}
 }

@@ -80,34 +80,90 @@ func newDense(in, out int, rng *mathx.RNG) *dense {
 
 // dot computes the inner product of a and b (len(b) >= len(a)) with a
 // 4-lane unrolled accumulation. Every forward pass — single-sample and
-// batched — funnels through this one kernel, so the two paths produce
+// batched — funnels through this kernel (or through dot2, which computes
+// each row with the identical lane structure), so all paths produce
 // bit-identical outputs.
 func dot(a, b []float64) float64 {
+	b = b[:len(a)] // one bounds check up front
 	var s0, s1, s2, s3 float64
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
+	n4 := len(a) &^ 3
+	for i := 0; i < n4; i += 4 {
 		s0 += a[i] * b[i]
 		s1 += a[i+1] * b[i+1]
 		s2 += a[i+2] * b[i+2]
 		s3 += a[i+3] * b[i+3]
 	}
-	for ; i < len(a); i++ {
+	for i := n4; i < len(a); i++ {
 		s0 += a[i] * b[i]
 	}
 	return (s0 + s1) + (s2 + s3)
 }
 
+// dot2 computes the inner products of two weight rows against one input,
+// streaming x once. Each row accumulates in exactly dot's lane structure
+// (its own four accumulators, combined (s0+s1)+(s2+s3)), so
+// dot2(a, b, x) ≡ (dot(a, x), dot(b, x)) bit for bit — this is the
+// register-blocked kernel behind the batched forward pass.
+func dot2(a, b, x []float64) (float64, float64) {
+	x = x[:len(a)]
+	b = b[:len(a)]
+	var a0, a1, a2, a3 float64
+	var b0, b1, b2, b3 float64
+	n4 := len(x) &^ 3
+	for i := 0; i < n4; i += 4 {
+		x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+		a0 += a[i] * x0
+		a1 += a[i+1] * x1
+		a2 += a[i+2] * x2
+		a3 += a[i+3] * x3
+		b0 += b[i] * x0
+		b1 += b[i+1] * x1
+		b2 += b[i+2] * x2
+		b3 += b[i+3] * x3
+	}
+	for i := n4; i < len(x); i++ {
+		a0 += a[i] * x[i]
+		b0 += b[i] * x[i]
+	}
+	return (a0 + a1) + (a2 + a3), (b0 + b1) + (b2 + b3)
+}
+
+// axpy2 accumulates y += a*xa followed by y += b*xb, as two separate
+// per-element statements so each element sees exactly the rounding
+// sequence of axpy(a, xa, y); axpy(b, xb, y) — the blocked form used by
+// the batched input-gradient pass to stream y once per two weight rows.
+func axpy2(a float64, xa []float64, b float64, xb, y []float64) {
+	y = y[:len(xa)]
+	xb = xb[:len(xa)]
+	n4 := len(xa) &^ 3
+	for i := 0; i < n4; i += 4 {
+		y[i] += a * xa[i]
+		y[i] += b * xb[i]
+		y[i+1] += a * xa[i+1]
+		y[i+1] += b * xb[i+1]
+		y[i+2] += a * xa[i+2]
+		y[i+2] += b * xb[i+2]
+		y[i+3] += a * xa[i+3]
+		y[i+3] += b * xb[i+3]
+	}
+	for i := n4; i < len(xa); i++ {
+		y[i] += a * xa[i]
+		y[i] += b * xb[i]
+	}
+}
+
 // axpy accumulates y += alpha*x. Shared by the serial and batched backward
 // passes so gradient accumulation is bit-identical between them.
 func axpy(alpha float64, x, y []float64) {
-	i := 0
-	for ; i+4 <= len(x); i += 4 {
+	y = y[:len(x)] // one bounds check up front
+	n4 := len(x) &^ 3
+	for i := 0; i < n4; i += 4 {
 		y[i] += alpha * x[i]
 		y[i+1] += alpha * x[i+1]
 		y[i+2] += alpha * x[i+2]
 		y[i+3] += alpha * x[i+3]
 	}
-	for ; i < len(x); i++ {
+	for i := n4; i < len(x); i++ {
 		y[i] += alpha * x[i]
 	}
 }

@@ -104,13 +104,15 @@ func (o *Adam) Step(params []*Param) {
 	c1 := 1 - math.Pow(b1, float64(o.t))
 	c2 := 1 - math.Pow(b2, float64(o.t))
 	for pi, p := range params {
-		m := o.m[pi]
-		v := o.v[pi]
-		for i := range p.W {
-			g := p.G[i]
+		w := p.W
+		gs := p.G[:len(w)]
+		m := o.m[pi][:len(w)]
+		v := o.v[pi][:len(w)]
+		for i := range w {
+			g := gs[i]
 			m[i] = b1*m[i] + (1-b1)*g
 			v[i] = b2*v[i] + (1-b2)*g*g
-			p.W[i] -= o.LR * (m[i] / c1) / (math.Sqrt(v[i]/c2) + eps)
+			w[i] -= o.LR * (m[i] / c1) / (math.Sqrt(v[i]/c2) + eps)
 		}
 	}
 }

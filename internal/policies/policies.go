@@ -49,6 +49,54 @@ type ConcurrentDecider interface {
 	ConcurrentSafe() bool
 }
 
+// Shared is the per-decision-point state the single-pass multi-policy
+// replay engine (evalx.ReplayAll) materializes once and hands to every
+// BatchDecider at a tick: the node, the time, the Table 1 feature vector,
+// and a memoized random-forest score. Because the RF predictor reads only
+// the workload-independent feature prefix (features.Vector.Predictor), one
+// forest evaluation serves every threshold variant and the Myopic policy
+// at the same decision point.
+type Shared struct {
+	Node int
+	Time time.Time
+	// Base is the feature vector at this decision point carrying the
+	// engine's shared potential UE cost (the no-mitigation baseline).
+	// Deciders whose own mitigation history diverges the cost receive
+	// their effective cost separately and must not mutate Base.
+	Base features.Vector
+
+	forest *rf.Forest
+	prob   float64
+}
+
+// Reset points the shared state at a new decision point, invalidating the
+// memoized forest score.
+func (s *Shared) Reset(node int, t time.Time, base features.Vector) {
+	s.Node, s.Time, s.Base = node, t, base
+	s.forest = nil
+}
+
+// RFProb returns f's positive-class score for the decision point,
+// computing it on first use and memoizing it, so N threshold variants of
+// the same forest cost one ensemble evaluation per tick instead of N.
+func (s *Shared) RFProb(f *rf.Forest) float64 {
+	if s.forest != f {
+		s.forest, s.prob = f, f.PredictProb(s.Base[:features.PredictorDim])
+	}
+	return s.prob
+}
+
+// BatchDecider is the optional fast path of the single-pass replay engine:
+// DecideShared must return exactly what Decide would return for a Context
+// whose Features equal s.Base with the UECost entry replaced by cost. The
+// engine falls back to Decide (on a per-decider copy of the vector) for
+// deciders that do not implement it, so stateful or external deciders keep
+// working unchanged.
+type BatchDecider interface {
+	Decider
+	DecideShared(s *Shared, cost float64) bool
+}
+
 // IsConcurrentSafe reports whether d declares itself safe for concurrent
 // Decide calls.
 func IsConcurrentSafe(d Decider) bool {
@@ -68,6 +116,9 @@ func (Never) Decide(Context) bool { return false }
 // ConcurrentSafe implements ConcurrentDecider.
 func (Never) ConcurrentSafe() bool { return true }
 
+// DecideShared implements BatchDecider.
+func (Never) DecideShared(*Shared, float64) bool { return false }
+
 // Always mitigates on every event in the error log: minimum UE cost among
 // event-triggered policies, maximum mitigation cost.
 type Always struct{}
@@ -80,6 +131,9 @@ func (Always) Decide(Context) bool { return true }
 
 // ConcurrentSafe implements ConcurrentDecider.
 func (Always) ConcurrentSafe() bool { return true }
+
+// DecideShared implements BatchDecider.
+func (Always) DecideShared(*Shared, float64) bool { return true }
 
 // RFThreshold is the SC20-RF policy: mitigate when the random-forest score
 // exceeds an externally supplied threshold.
@@ -112,6 +166,12 @@ func (p *RFThreshold) Score(ctx Context) float64 {
 // read of the trained trees.
 func (p *RFThreshold) ConcurrentSafe() bool { return true }
 
+// DecideShared implements BatchDecider: the forest score is memoized on s,
+// so a whole threshold grid costs one ensemble evaluation per tick.
+func (p *RFThreshold) DecideShared(s *Shared, _ float64) bool {
+	return s.RFProb(p.Forest) > p.Threshold
+}
+
 // MyopicRF extends SC20-RF with cost-awareness (§4.2): mitigate when the
 // expected UE cost — RF score times current potential UE cost — exceeds
 // the mitigation cost. As the paper shows, the RF score is not a reliable
@@ -141,6 +201,13 @@ func (p *MyopicRF) Score(ctx Context) float64 {
 
 // ConcurrentSafe implements ConcurrentDecider.
 func (p *MyopicRF) ConcurrentSafe() bool { return true }
+
+// DecideShared implements BatchDecider. The RF score ignores the cost
+// feature, so the memoized evaluation is shared; only the comparison uses
+// this decider's effective potential UE cost.
+func (p *MyopicRF) DecideShared(s *Shared, cost float64) bool {
+	return s.RFProb(p.Forest)*cost > p.MitigationCostNodeHours
+}
 
 // RL wraps a trained (frozen) agent policy. Decide normalizes into pooled
 // scratch (features.WithNormalized), so the replay hot path allocates
@@ -177,6 +244,19 @@ func (p *RL) ConcurrentSafe() bool {
 	return false
 }
 
+// DecideShared implements BatchDecider: the network consumes the full
+// vector including the cost feature, so the shared vector is completed
+// with this decider's effective cost before normalization.
+func (p *RL) DecideShared(s *Shared, cost float64) bool {
+	v := s.Base
+	v[features.UECost] = cost
+	act := 0
+	v.WithNormalized(func(norm []float64) {
+		act = p.Policy.Action(norm)
+	})
+	return act == 1
+}
+
 // OracleKey identifies a decision point.
 type OracleKey struct {
 	Node int
@@ -211,6 +291,11 @@ func (o *Oracle) Len() int { return len(o.points) }
 // ConcurrentSafe implements ConcurrentDecider: the point set is read-only.
 func (o *Oracle) ConcurrentSafe() bool { return true }
 
+// DecideShared implements BatchDecider.
+func (o *Oracle) DecideShared(s *Shared, _ float64) bool {
+	return o.points[OracleKey{Node: s.Node, Time: s.Time}]
+}
+
 // FixedProb is a trivial decider mitigating when a fixed feature exceeds a
 // bound; used in tests and examples as a stand-in policy.
 type FixedProb struct {
@@ -226,3 +311,11 @@ func (p *FixedProb) Decide(ctx Context) bool { return ctx.Features[p.Feature] > 
 
 // ConcurrentSafe implements ConcurrentDecider.
 func (p *FixedProb) ConcurrentSafe() bool { return true }
+
+// DecideShared implements BatchDecider.
+func (p *FixedProb) DecideShared(s *Shared, cost float64) bool {
+	if p.Feature == features.UECost {
+		return cost > p.Bound
+	}
+	return s.Base[p.Feature] > p.Bound
+}

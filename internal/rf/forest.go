@@ -38,8 +38,60 @@ func DefaultForestConfig() ForestConfig {
 }
 
 // Forest is a bagged ensemble of CART trees.
+//
+// After training (or deserialization) the ensemble is additionally packed
+// into one contiguous node array (see pack): PredictProb walks that flat
+// array instead of chasing per-tree slices, which keeps the whole forest's
+// nodes cache-resident on the replay hot path where one score is computed
+// per decision tick.
 type Forest struct {
 	trees []*Tree
+
+	// packed holds every tree's nodes back to back with child indices
+	// rebased to the packed array; roots[i] is tree i's root index.
+	packed []packedNode
+	roots  []int32
+}
+
+// packedNode is the cache-friendly flat representation of one tree node:
+// 32 bytes instead of the 40-byte training node, with absolute child
+// indices so prediction never dereferences a tree.
+type packedNode struct {
+	threshold float64
+	prob      float64
+	// feature < 0 marks a leaf.
+	feature     int32
+	left, right int32
+}
+
+// pack flattens the ensemble into the contiguous prediction layout.
+// Predictions over the packed array visit the same nodes in the same tree
+// order as the per-tree walk, so scores are bit-identical.
+func (f *Forest) pack() {
+	total := 0
+	for _, t := range f.trees {
+		total += len(t.nodes)
+	}
+	if total > math.MaxInt32 {
+		// Absurdly large ensemble: keep the per-tree walk.
+		f.packed, f.roots = nil, nil
+		return
+	}
+	f.packed = make([]packedNode, 0, total)
+	f.roots = make([]int32, len(f.trees))
+	for ti, t := range f.trees {
+		base := int32(len(f.packed))
+		f.roots[ti] = base
+		for _, n := range t.nodes {
+			f.packed = append(f.packed, packedNode{
+				threshold: n.threshold,
+				prob:      n.prob,
+				feature:   int32(n.feature),
+				left:      base + int32(n.left),
+				right:     base + int32(n.right),
+			})
+		}
+	}
 }
 
 // TrainForest fits a random forest on X with binary labels y. Each tree is
@@ -107,6 +159,7 @@ func TrainForest(x [][]float64, y []bool, cfg ForestConfig) *Forest {
 			MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, MTry: mtry,
 		}, trng)
 	}
+	f.pack()
 	return f
 }
 
@@ -115,6 +168,26 @@ func TrainForest(x [][]float64, y []bool, cfg ForestConfig) *Forest {
 // error" (§4.2). As the paper observes for Myopic-RF, it is a score, not a
 // calibrated probability.
 func (f *Forest) PredictProb(x []float64) float64 {
+	if len(f.roots) > 0 {
+		sum := 0.0
+		packed := f.packed
+		for _, root := range f.roots {
+			i := root
+			for {
+				nd := &packed[i]
+				if nd.feature < 0 {
+					sum += nd.prob
+					break
+				}
+				if x[nd.feature] <= nd.threshold {
+					i = nd.left
+				} else {
+					i = nd.right
+				}
+			}
+		}
+		return sum / float64(len(f.roots))
+	}
 	if len(f.trees) == 0 {
 		return 0
 	}

@@ -168,3 +168,44 @@ func TestForestProbabilityRange(t *testing.T) {
 		}
 	}
 }
+
+// TestPackedPredictionMatchesTreeWalk: the contiguous packed layout must
+// reproduce the per-tree walk bit for bit, including after a
+// serialization round trip (which rebuilds the packing).
+func TestPackedPredictionMatchesTreeWalk(t *testing.T) {
+	x, y := axisData(400, 21)
+	f := TrainForest(x, y, ForestConfig{Trees: 30, MaxDepth: 8, Seed: 3})
+	if len(f.packed) == 0 || len(f.roots) != len(f.trees) {
+		t.Fatal("forest not packed after training")
+	}
+	perTree := func(x []float64) float64 {
+		sum := 0.0
+		for _, tr := range f.trees {
+			sum += tr.PredictProb(x)
+		}
+		return sum / float64(len(f.trees))
+	}
+	probe, _ := axisData(200, 22)
+	for i := range probe {
+		if got, want := f.PredictProb(probe[i]), perTree(probe[i]); got != want {
+			t.Fatalf("probe %d: packed %v != per-tree %v", i, got, want)
+		}
+	}
+
+	data, err := f.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Forest
+	if err := g.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.packed) != len(f.packed) {
+		t.Fatal("deserialized forest not repacked")
+	}
+	for i := range probe {
+		if g.PredictProb(probe[i]) != f.PredictProb(probe[i]) {
+			t.Fatalf("probe %d: round-tripped prediction differs", i)
+		}
+	}
+}

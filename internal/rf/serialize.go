@@ -67,7 +67,8 @@ func (f *Forest) MarshalJSON() ([]byte, error) {
 	return json.Marshal(f.trees)
 }
 
-// UnmarshalJSON restores a forest serialized by MarshalJSON.
+// UnmarshalJSON restores a forest serialized by MarshalJSON, rebuilding
+// the packed prediction layout.
 func (f *Forest) UnmarshalJSON(data []byte) error {
 	var trees []*Tree
 	if err := json.Unmarshal(data, &trees); err != nil {
@@ -77,5 +78,6 @@ func (f *Forest) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("rf: serialized forest has no trees")
 	}
 	f.trees = trees
+	f.pack()
 	return nil
 }

@@ -142,15 +142,20 @@ type Agent struct {
 
 	// Batched-training state: a whole PER minibatch runs through the
 	// networks as one GEMM-style pass, with all intermediate buffers
-	// preallocated so a train step allocates nothing.
-	bs, bsTgt, bsNext *nn.BatchScratch
-	xs, xsNext        []float64 // gathered states [B*StateLen]
-	dOutB             []float64 // batched output gradient [B*NumActions]
-	nextVal           []float64 // bootstrap values [B]
-	tdErrs            []float64
-	sampTrs           []Transition
-	sampHandles       []int
-	sampWs            []float64
+	// preallocated so a train step allocates nothing. The online scratch
+	// holds two batches: current states and next states are concatenated
+	// as [S; NextS] and run through the online network in one launch
+	// (same weights), leaving the S activations in rows [0, B) for the
+	// backward pass.
+	bs          *nn.BatchScratch // online scratch, sized 2*B
+	bsTgt       *nn.BatchScratch // target scratch, sized B
+	xs          []float64        // gathered [S; NextS] states [2*B*StateLen]
+	dOutB       []float64        // batched output gradient [B*NumActions]
+	nextVal     []float64        // bootstrap values [B]
+	tdErrs      []float64
+	sampTrs     []Transition
+	sampHandles []int
+	sampWs      []float64
 
 	// serialTrain forces the legacy one-transition-at-a-time training loop;
 	// it exists only so tests can verify the batched path reproduces the
@@ -193,11 +198,9 @@ func NewAgent(cfg AgentConfig, replay Replay) *Agent {
 // networks.
 func (a *Agent) initBatchState() {
 	b := a.cfg.BatchSize
-	a.bs = a.online.NewBatchScratch(b)
-	a.bsNext = a.online.NewBatchScratch(b)
+	a.bs = a.online.NewBatchScratch(2 * b)
 	a.bsTgt = a.target.NewBatchScratch(b)
-	a.xs = make([]float64, b*a.cfg.StateLen)
-	a.xsNext = make([]float64, b*a.cfg.StateLen)
+	a.xs = make([]float64, 2*b*a.cfg.StateLen)
 	a.dOutB = make([]float64, b*a.cfg.NumActions)
 	a.nextVal = make([]float64, b)
 	a.tdErrs = make([]float64, b)
@@ -322,35 +325,46 @@ func (a *Agent) trainBatch() float64 {
 	for i := range trs {
 		copy(a.xs[i*L:(i+1)*L], trs[i].S)
 		if !trs[i].Done {
-			copy(a.xsNext[i*L:(i+1)*L], trs[i].NextS)
+			copy(a.xs[(n+i)*L:(n+i+1)*L], trs[i].NextS)
 			anyLive = true
 		}
 	}
 	a.online.ZeroGrad()
-	// Bootstrap values for non-terminal transitions. Terminal rows hold
-	// stale buffer contents; their outputs are computed but never read.
-	if anyLive {
-		qTgt := a.target.ForwardBatchInto(a.bsTgt, a.xsNext[:n*L], n)
-		if a.cfg.DoubleDQN {
-			qNext := a.online.ForwardBatchInto(a.bsNext, a.xsNext[:n*L], n)
-			for i := range trs {
-				if trs[i].Done {
-					continue
-				}
-				best := mathx.ArgMax(qNext[i*A : (i+1)*A])
-				a.nextVal[i] = qTgt[i*A+best]
+	// One online launch covers both halves of [S; NextS] — per-sample
+	// outputs are independent, so each half is bit-identical to a separate
+	// forward, and the S activations land in scratch rows [0, n) where the
+	// backward pass reads them. Bootstrap values come from the target net
+	// on the NextS half; terminal rows hold stale buffer contents and
+	// their outputs are computed but never read.
+	var q []float64
+	switch {
+	case anyLive && a.cfg.DoubleDQN:
+		qTgt := a.target.ForwardBatchInto(a.bsTgt, a.xs[n*L:2*n*L], n)
+		qBoth := a.online.ForwardBatchInto(a.bs, a.xs[:2*n*L], 2*n)
+		q = qBoth[:n*A]
+		qNext := qBoth[n*A : 2*n*A]
+		for i := range trs {
+			if trs[i].Done {
+				continue
 			}
-		} else {
-			for i := range trs {
-				if trs[i].Done {
-					continue
-				}
-				row := qTgt[i*A : (i+1)*A]
-				a.nextVal[i] = row[mathx.ArgMax(row)]
-			}
+			best := mathx.ArgMax(qNext[i*A : (i+1)*A])
+			a.nextVal[i] = qTgt[i*A+best]
 		}
+	case anyLive:
+		// Vanilla DQN bootstraps from the target net alone, so only the S
+		// half goes through the online network.
+		qTgt := a.target.ForwardBatchInto(a.bsTgt, a.xs[n*L:2*n*L], n)
+		q = a.online.ForwardBatchInto(a.bs, a.xs[:n*L], n)
+		for i := range trs {
+			if trs[i].Done {
+				continue
+			}
+			row := qTgt[i*A : (i+1)*A]
+			a.nextVal[i] = row[mathx.ArgMax(row)]
+		}
+	default:
+		q = a.online.ForwardBatchInto(a.bs, a.xs[:n*L], n)
 	}
-	q := a.online.ForwardBatchInto(a.bs, a.xs[:n*L], n)
 	dOut := a.dOutB[:n*A]
 	for i := range dOut {
 		dOut[i] = 0

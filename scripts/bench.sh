@@ -8,12 +8,28 @@
 # track ns/op and allocs/op over time.
 #
 # Usage:
-#   scripts/bench.sh                # default: 1s benchtime, 1 count
+#   scripts/bench.sh                       # default: 1s benchtime, 1 count
+#   scripts/bench.sh -cpuprofile out.prof  # also record a CPU profile
 #   BENCHTIME=3s COUNT=5 scripts/bench.sh
 #   BENCH_OUT=BENCH_3.json scripts/bench.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+CPUPROFILE=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -cpuprofile)
+      [ $# -ge 2 ] || { echo "bench.sh: -cpuprofile needs a path" >&2; exit 2; }
+      CPUPROFILE="$2"
+      shift 2
+      ;;
+    *)
+      echo "bench.sh: unknown argument $1 (supported: -cpuprofile <path>)" >&2
+      exit 2
+      ;;
+  esac
+done
 
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
@@ -35,7 +51,8 @@ FILTER="${FILTER:-BenchmarkNNForward$|BenchmarkNNForwardBatch$|BenchmarkNNTrainS
 txt="$(mktemp)"
 trap 'rm -f "$txt"' EXIT
 
-go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$txt"
+go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" \
+  ${CPUPROFILE:+-cpuprofile "$CPUPROFILE"} . | tee "$txt"
 
 # Convert "BenchmarkX-8  N  T ns/op  B B/op  A allocs/op [extra metrics]"
 # lines into a JSON summary (last run of each benchmark wins).
