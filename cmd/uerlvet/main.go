@@ -1,0 +1,120 @@
+// Command uerlvet is the repository's static-analysis suite: a
+// multichecker (in the mold of golang.org/x/tools/go/analysis
+// multichecker, built dependency-free on the standard library) that
+// machine-checks the contracts the compiler cannot see:
+//
+//	determinism   bit-exact packages (//uerl:deterministic) must not read
+//	              wall clocks, the global math/rand generator, core
+//	              counts, or map iteration order
+//	fpreduce      floating-point reductions in bit-exact packages must
+//	              have explicit order (no += into shared state from
+//	              goroutines or map iteration)
+//	hotpath       //uerl:hotpath functions must not contain allocating
+//	              constructs (the BENCH_*.json alloc guard's static twin)
+//	concurrency   Decider implementations declare their concurrency
+//	              story; restricted/guarded Controller fields are touched
+//	              only via their accessors / under their locks
+//	directive     the //uerl: contract comments themselves are well-formed
+//	shadow, unusedwrite, nilness
+//	              the standard vet passes not in `go vet`'s default set
+//
+// Usage:
+//
+//	go run ./cmd/uerlvet ./...                 # what CI runs
+//	go run ./cmd/uerlvet -only hotpath ./...   # one analyzer
+//	go run ./cmd/uerlvet -list                 # describe analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/concurrency"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/fpreduce"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/vetextra"
+)
+
+func allAnalyzers() []*analysis.Analyzer {
+	as := []*analysis.Analyzer{
+		analysis.DirectiveAnalyzer,
+		determinism.Analyzer,
+		fpreduce.Analyzer,
+		hotpath.Analyzer,
+		concurrency.Analyzer,
+	}
+	return append(as, vetextra.Analyzers...)
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: uerlvet [-list] [-only a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := allAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "uerlvet: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, fset, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uerlvet: %v\n", err)
+		os.Exit(2)
+	}
+	loadFailed := false
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errors {
+			fmt.Fprintf(os.Stderr, "uerlvet: %s: %s\n", pkg.PkgPath, e)
+			loadFailed = true
+		}
+	}
+	if loadFailed {
+		os.Exit(2)
+	}
+
+	diags, err := analysis.Run(fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "uerlvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", fset.Position(d.Pos), d.Category, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "uerlvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -67,11 +67,13 @@ func (e Event) toErrlog() errlog.Event {
 
 // ctlShard owns the feature trackers of one slice of the node space.
 type ctlShard struct {
-	mu       sync.RWMutex
+	mu sync.RWMutex
+	//uerl:guarded-by mu
 	trackers map[int]*features.Tracker
 	// evBuf backs the single-event tick handed to Tracker.Observe, so
 	// ingesting an event allocates nothing. Guarded by mu; Observe does
 	// not retain the events slice.
+	//uerl:guarded-by mu
 	evBuf [1]errlog.Event
 }
 
@@ -90,6 +92,11 @@ type ctlShard struct {
 // never drops, blocks or torn-reads a concurrent Recommend, and all
 // tracker state survives the swap.
 type Controller struct {
+	// policy is the hot-swappable serving policy. Everything outside the
+	// three accessors — including the rest of this package — must go
+	// through Policy()/SwapPolicy(), so a swap is always one atomic
+	// pointer exchange and never a torn read; uerlvet enforces the list.
+	//uerl:restrict-to NewController,Policy,SwapPolicy
 	policy atomic.Pointer[Policy]
 	now    func() time.Time
 	shards []*ctlShard
@@ -156,6 +163,8 @@ func (c *Controller) shardIndex(node int) uint64 {
 }
 
 // ObserveEvent ingests one telemetry event.
+//
+//uerl:hotpath
 func (c *Controller) ObserveEvent(e Event) {
 	sh := c.shards[c.shardIndex(e.Node)]
 	sh.mu.Lock()
@@ -164,6 +173,9 @@ func (c *Controller) ObserveEvent(e Event) {
 }
 
 // observe applies one event to the shard; the caller holds the write lock.
+//
+//uerl:hotpath
+//uerl:locked mu
 func (sh *ctlShard) observe(e Event) {
 	tr, ok := sh.trackers[e.Node]
 	if !ok {
@@ -182,12 +194,15 @@ func (sh *ctlShard) observe(e Event) {
 // applied — events are not idempotent (re-observing double-counts CEs),
 // so treat unprocessed nodes as stale and rebuild them from the log
 // rather than re-sending the whole batch.
+//
+//uerl:hotpath
 func (c *Controller) ObserveBatch(ctx context.Context, events []Event) (int, error) {
 	if len(events) == 0 {
 		return 0, nil
 	}
 	bp := c.batchPool.Get().(*[][]Event)
 	buckets := *bp
+	//uerl:alloc-ok open-coded defer whose closure stays on the stack; ObserveBatch is alloc-asserted at 0 allocs/op steady state
 	defer func() {
 		// Truncate (keeping capacity) so the next batch reuses the grown
 		// slices; stale Event values behind len are never read.
@@ -199,7 +214,7 @@ func (c *Controller) ObserveBatch(ctx context.Context, events []Event) (int, err
 	}()
 	for _, e := range events {
 		i := c.shardIndex(e.Node)
-		buckets[i] = append(buckets[i], e)
+		buckets[i] = append(buckets[i], e) //uerl:alloc-ok pooled buckets grow to the working batch shape once, then recycle via batchPool (alloc-asserted)
 	}
 	ingested := 0
 	for i, bucket := range buckets {
@@ -222,6 +237,8 @@ func (c *Controller) ObserveBatch(ctx context.Context, events []Event) (int, err
 
 // peek reads a node's feature vector side-effect-free under the shard's
 // read lock; unknown nodes report the empty feature state.
+//
+//uerl:hotpath
 func (c *Controller) peek(node int, at time.Time, cost float64) features.Vector {
 	sh := c.shards[c.shardIndex(node)]
 	var v features.Vector
@@ -243,10 +260,12 @@ func (c *Controller) peek(node int, at time.Time, cost float64) features.Vector 
 // number of times never changes its state. Unknown nodes answer from the
 // empty feature state. at should not precede the node's last observed
 // event — a lagging poller clock inflates the Eq. 2 variation features.
+//
+//uerl:hotpath
 func (c *Controller) Recommend(node int, at time.Time, potentialCostNodeHours float64) Decision {
-	// Load the policy once: a concurrent SwapPolicy must not mix two
-	// models' outputs within one decision.
-	policy := *c.policy.Load()
+	// Load the policy once (through the accessor): a concurrent
+	// SwapPolicy must not mix two models' outputs within one decision.
+	policy := c.Policy()
 	v := c.peek(node, at, potentialCostNodeHours)
 	d := policy.Decide(Snapshot{Node: node, Time: at, Features: v})
 	// Normalize bookkeeping so custom policies can leave it to us. The

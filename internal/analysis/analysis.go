@@ -1,0 +1,204 @@
+// Package analysis is the dependency-free core of uerlvet, the repo's
+// static-analysis suite. It mirrors the shape of
+// golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic — but is
+// built entirely on the standard library (go/ast, go/types, and the go
+// command for package metadata and export data), because this module
+// deliberately has no third-party dependencies.
+//
+// The analyzers housed under internal/analysis machine-check the
+// contracts the rest of the repository only states in comments: the
+// bit-identical replay/training guarantee, the zero-allocation serving
+// hot paths, and the Decider/Controller concurrency rules. The contracts
+// are declared in source with //uerl: directives (see Markers) and
+// enforced by `go run ./cmd/uerlvet ./...` in CI.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer is one static check. Run inspects a single type-checked
+// package through the Pass and reports findings via the Pass's report
+// methods; a non-nil error aborts the whole uerlvet run (reserved for
+// internal failures, not findings).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only flags.
+	Name string
+	// Doc is a one-paragraph description shown by `uerlvet -list`.
+	Doc string
+	// Run performs the check on one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name
+	Message  string
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Markers holds the package's parsed //uerl: directives: which
+	// functions are hot paths, which fields are access-restricted, and
+	// which lines carry waivers.
+	Markers *Markers
+
+	sink *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      pos,
+		Category: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportWaivable records a finding at pos unless the line (or the line
+// immediately above it) carries a matching //uerl:<kind> waiver comment.
+// kind is the waiver directive name, e.g. "nondet-ok" or "alloc-ok".
+func (p *Pass) ReportWaivable(pos token.Pos, kind string, format string, args ...any) {
+	if p.Markers.Waived(kind, pos) {
+		return
+	}
+	p.Reportf(pos, format, args...)
+}
+
+// Run executes the analyzers over every package and returns the combined,
+// position-sorted, deduplicated findings. Identical (position, analyzer,
+// message) triples — possible when nested constructs are visited from two
+// enclosing contexts — collapse to one.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		markers := ParseMarkers(fset, pkg.Files, pkg.TypesInfo)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Markers:   markers,
+				sink:      &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Category < diags[j].Category
+	})
+	out := diags[:0]
+	var last Diagnostic
+	for i, d := range diags {
+		if i > 0 && d == last {
+			continue
+		}
+		out = append(out, d)
+		last = d
+	}
+	return out, nil
+}
+
+// PkgFunc resolves a call of the form pkg.F where pkg is an imported
+// package name, returning the package path and function name. ok is false
+// for method calls, conversions, locally-defined functions and builtins.
+func PkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	if _, isFunc := info.Uses[sel.Sel].(*types.Func); !isFunc {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// RootIdent returns the leftmost identifier of an lvalue-ish expression
+// (x, x.f, x[i], *x, x.f[i].g ...), or nil.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// IsMap reports whether e's static type is a map.
+func IsMap(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// IsFloat reports whether t's underlying type is a floating-point or
+// complex scalar — the types whose addition is not associative, so
+// accumulation order changes bits.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// IsString reports whether t's underlying type is string.
+func IsString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// PointerShaped reports whether a value of type t is stored directly in
+// an interface's data word, so converting it to an interface type does
+// not heap-allocate.
+func PointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}

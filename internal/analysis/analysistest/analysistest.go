@@ -1,0 +1,144 @@
+// Package analysistest runs uerlvet analyzers over fixture packages and
+// checks their findings against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// alone.
+//
+// Fixture packages live under testdata/src/<name> inside each analyzer's
+// package directory. They are real compilable packages inside this
+// module (testdata directories are invisible to ./... patterns but load
+// fine when named explicitly, and may import repro/... packages — so
+// fixtures exercise the real contract types, e.g. policies.Decider).
+//
+// Expectations are trailing comments in the fixture source:
+//
+//	x := time.Now() // want `wall clock`
+//	y := f()        // want `first finding` `second finding`
+//
+// Each backquoted or double-quoted string is a regular expression that
+// must match the message of exactly one diagnostic reported on that
+// line. Unmatched diagnostics and unsatisfied expectations both fail the
+// test.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// expectation is one want-regexp awaiting a diagnostic on a line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(.+)$")
+var quotedRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads each testdata package (a path like "testdata/src/det",
+// relative to the calling test's directory), applies the analyzer, and
+// verifies the findings against the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	RunAnalyzers(t, []*analysis.Analyzer{a}, dirs...)
+}
+
+// RunAnalyzers is Run for a set of analyzers applied together — used
+// where one fixture exercises interacting checks (e.g. the directive
+// validator alongside a contract analyzer).
+func RunAnalyzers(t *testing.T, as []*analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	for _, dir := range dirs {
+		pattern := "./" + strings.TrimPrefix(dir, "./")
+		pkgs, fset, err := analysis.Load("", pattern)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for _, e := range pkg.Errors {
+				t.Errorf("%s: fixture does not compile: %s", pkg.PkgPath, e)
+			}
+		}
+		diags, err := analysis.Run(fset, pkgs, as)
+		if err != nil {
+			t.Fatalf("running analyzers on %s: %v", dir, err)
+		}
+
+		var wants []*expectation
+		for _, pkg := range pkgs {
+			for _, f := range pkg.Files {
+				wants = append(wants, fileWants(t, fset, f)...)
+			}
+		}
+
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			matched := false
+			for _, w := range wants {
+				if w.met || w.file != pos.Filename || w.line != pos.Line {
+					continue
+				}
+				if w.re.MatchString(d.Message) {
+					w.met = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Category, d.Message)
+			}
+		}
+		for _, w := range wants {
+			if !w.met {
+				t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw)
+			}
+		}
+	}
+}
+
+func fileWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			quoted := quotedRE.FindAllString(m[1], -1)
+			if len(quoted) == 0 {
+				t.Errorf("%s: malformed want comment: %s", pos, c.Text)
+				continue
+			}
+			for _, q := range quoted {
+				var pat string
+				if q[0] == '`' {
+					pat = q[1 : len(q)-1]
+				} else {
+					var err error
+					pat, err = strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want string %s: %v", pos, q, err)
+						continue
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Errorf("%s: bad want regexp %s: %v", pos, q, err)
+					continue
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: q})
+			}
+		}
+	}
+	return out
+}

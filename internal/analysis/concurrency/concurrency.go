@@ -1,0 +1,198 @@
+// Package concurrency machine-checks the repo's concurrency contracts:
+//
+//  1. Decider coverage. Every named type implementing policies.Decider
+//     must either implement policies.ConcurrentDecider (so the parallel
+//     replay engine may fan it out across workers) or carry an explicit
+//     //uerl:serial-only <reason> marker acknowledging that replay falls
+//     back to the serial path for it. A Decider with neither is a silent
+//     performance cliff at best and — if someone "fixes" replay to stop
+//     checking — a data race.
+//
+//  2. Field access restriction. A struct field annotated
+//     //uerl:restrict-to f1,f2 (e.g. the Controller's atomic policy
+//     pointer) may be selected only inside the named functions/methods;
+//     everything else must go through those accessors.
+//
+//  3. Lock discipline. A struct field annotated //uerl:guarded-by mu may
+//     be selected only inside functions that lock that mutex
+//     (mu.Lock/RLock appears in the body) or are annotated
+//     //uerl:locked mu declaring the caller holds it.
+//
+// Composite-literal keys are exempt from 2 and 3: initializing a struct
+// before it is shared is the idiomatic construction pattern.
+package concurrency
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the concurrency contract checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "concurrency",
+	Doc:  "check Decider concurrency coverage, //uerl:restrict-to field access, and //uerl:guarded-by lock discipline",
+	Run:  run,
+}
+
+const policiesPath = "repro/internal/policies"
+
+func run(pass *analysis.Pass) error {
+	checkDeciders(pass)
+	checkFields(pass)
+	return nil
+}
+
+// findPolicies locates the policies package in the import graph (or the
+// analyzed package itself).
+func findPolicies(pkg *types.Package) *types.Package {
+	seen := map[*types.Package]bool{}
+	var walk func(p *types.Package) *types.Package
+	walk = func(p *types.Package) *types.Package {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == policiesPath {
+			return p
+		}
+		for _, imp := range p.Imports() {
+			if found := walk(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return walk(pkg)
+}
+
+func lookupInterface(pkg *types.Package, name string) *types.Interface {
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+func checkDeciders(pass *analysis.Pass) {
+	if pass.Pkg == nil {
+		return
+	}
+	pol := findPolicies(pass.Pkg)
+	if pol == nil {
+		return // cannot implement Decider without importing policies
+	}
+	decider := lookupInterface(pol, "Decider")
+	concurrent := lookupInterface(pol, "ConcurrentDecider")
+	if decider == nil || concurrent == nil {
+		return
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		obj, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || obj.IsAlias() {
+			continue
+		}
+		t := obj.Type()
+		if types.IsInterface(t) {
+			continue
+		}
+		pt := types.NewPointer(t)
+		if !types.Implements(t, decider) && !types.Implements(pt, decider) {
+			continue
+		}
+		if types.Implements(t, concurrent) || types.Implements(pt, concurrent) {
+			continue
+		}
+		if _, ok := pass.Markers.SerialOnly[obj]; ok {
+			continue
+		}
+		pass.Reportf(obj.Pos(),
+			"%s implements policies.Decider but not ConcurrentDecider: parallel replay silently falls back to serial; add ConcurrentSafe() or mark the type //uerl:serial-only <reason>", name)
+	}
+}
+
+func checkFields(pass *analysis.Pass) {
+	m := pass.Markers
+	if len(m.Restricted) == 0 && len(m.Guarded) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncFields(pass, fn)
+		}
+	}
+}
+
+// checkFuncFields flags restricted/guarded field selections. Field
+// accesses surface only as SelectorExprs; composite-literal keys
+// (construction before publication) are bare idents and naturally exempt.
+func checkFuncFields(pass *analysis.Pass, fn *ast.FuncDecl) {
+	m := pass.Markers
+	info := pass.TypesInfo
+	fnName := fn.Name.Name
+
+	// locksHeld: mutex field names this function observably locks, plus
+	// any declared held via //uerl:locked.
+	locksHeld := map[string]bool{}
+	if mu, ok := m.Locked[fn]; ok {
+		locksHeld[mu] = true
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+				locksHeld[inner.Sel.Name] = true
+			} else if id, ok := sel.X.(*ast.Ident); ok {
+				locksHeld[id.Name] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[sel.Sel]
+		if obj == nil {
+			return true
+		}
+		if allowed, ok := m.Restricted[obj]; ok && !nameIn(fnName, allowed) {
+			pass.Reportf(sel.Sel.Pos(),
+				"field %s is restricted to %s (//uerl:restrict-to); access it through those accessors, not directly in %s",
+				sel.Sel.Name, strings.Join(allowed, ", "), fnName)
+		}
+		if mu, ok := m.Guarded[obj]; ok && !locksHeld[mu] {
+			pass.Reportf(sel.Sel.Pos(),
+				"field %s is guarded by %s (//uerl:guarded-by) but %s neither locks %s nor is marked //uerl:locked %s",
+				sel.Sel.Name, mu, fnName, mu, mu)
+		}
+		return true
+	})
+}
+
+func nameIn(name string, list []string) bool {
+	for _, n := range list {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package concurrency_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/concurrency"
+)
+
+func TestConcurrency(t *testing.T) {
+	analysistest.Run(t, concurrency.Analyzer, "testdata/src/conc")
+}

@@ -1,0 +1,132 @@
+// Package det is the determinism analyzer's fixture: one positive for
+// every finding class, the //uerl:nondet-ok suppression, and the clean
+// patterns the analyzer must stay silent on.
+//
+//uerl:deterministic
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Clock exercises the wall-clock findings.
+func Clock() time.Duration {
+	t0 := time.Now()      // want `time.Now reads the wall clock`
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+// WaivedClock shows the line-above waiver form.
+func WaivedClock() time.Time {
+	//uerl:nondet-ok fixture: wallclock annotates metadata and never feeds decisions
+	return time.Now()
+}
+
+// GlobalRand draws from the global generator.
+func GlobalRand() int {
+	return rand.Intn(10) // want `rand.Intn draws from the global math/rand generator`
+}
+
+// SeededRand uses explicit-source constructors, which are deterministic.
+func SeededRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Procs branches on the machine's core count.
+func Procs() int {
+	return runtime.GOMAXPROCS(0) // want `runtime.GOMAXPROCS makes behavior depend`
+}
+
+// Keys accumulates map keys without sorting.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside map iteration`
+	}
+	return keys
+}
+
+// SortedKeys is the idiomatic collect-then-sort pattern: clean.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Last keeps whichever entry the iterator visits last.
+func Last(m map[string]int) int {
+	last := 0
+	for _, v := range m {
+		last = v // want `assignment to "last" inside map iteration`
+	}
+	return last
+}
+
+// Count shows the order-independent sinks: integer accumulation is
+// commutative and a constant store lands on the same value whatever the
+// visit order.
+func Count(m map[string]int) (int, bool) {
+	n, saw := 0, false
+	for _, v := range m {
+		n += v
+		saw = true
+	}
+	return n, saw
+}
+
+// Join builds a string in visit order.
+func Join(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation into "s" inside map iteration`
+	}
+	return s
+}
+
+// First returns whichever key the iterator happens to visit first.
+func First(m map[string]int) (string, bool) {
+	for k := range m {
+		return k, true // want `return inside map iteration depends on which key`
+	}
+	return "", false
+}
+
+// Publish sends entries to a channel in visit order.
+func Publish(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration`
+	}
+}
+
+// Dump prints entries in visit order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt.Println inside map iteration emits output`
+	}
+}
+
+// Invert writes into another map: distinct keys land in the same final
+// map whatever the order, so this is clean.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Sum accumulates floats under a map range. Reduction order is fpreduce's
+// finding, not determinism's, so this file expects no diagnostic here.
+func Sum(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,12 @@
+package fpreduce_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/fpreduce"
+)
+
+func TestFPReduce(t *testing.T) {
+	analysistest.Run(t, fpreduce.Analyzer, "testdata/src/fpr")
+}

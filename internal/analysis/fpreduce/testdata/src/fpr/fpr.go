@@ -1,0 +1,85 @@
+// Package fpr is the fpreduce analyzer's fixture: floating-point
+// accumulation into shared state from each concurrent region (goroutine
+// body, parx.For worker, map iteration), the parx per-index discipline
+// and region-local accumulators as negatives, and the waiver.
+//
+//uerl:deterministic
+package fpr
+
+import "repro/internal/parx"
+
+// GoAccumulate folds into a variable owned outside the goroutine.
+func GoAccumulate(xs []float64) float64 {
+	total := 0.0
+	done := make(chan struct{})
+	go func() {
+		for _, x := range xs {
+			total += x // want `floating-point accumulation into "total" inside a goroutine body`
+		}
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+// GoLocal accumulates into a region-local variable and publishes the
+// finished value once: clean.
+func GoLocal(xs []float64, out chan<- float64) {
+	go func() {
+		sum := 0.0
+		for _, x := range xs {
+			sum += x
+		}
+		out <- sum
+	}()
+}
+
+// ParxAccumulate folds into shared state from worker iterations.
+func ParxAccumulate(xs []float64) float64 {
+	total := 0.0
+	parx.For(len(xs), 0, func(i int) {
+		total += xs[i] // want `floating-point accumulation into "total" inside a parx.For worker body`
+	})
+	return total
+}
+
+// ParxPerIndex is the parx discipline: per-index writes in the workers,
+// one ordered reduction afterwards: clean.
+func ParxPerIndex(xs []float64) float64 {
+	sq := make([]float64, len(xs))
+	parx.For(len(xs), 0, func(i int) {
+		sq[i] = xs[i] * xs[i]
+	})
+	total := 0.0
+	for _, v := range sq {
+		total += v
+	}
+	return total
+}
+
+// MapSum folds floats in map-visit order.
+func MapSum(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v // want `floating-point accumulation into "s" inside a map iteration`
+	}
+	return s
+}
+
+// MapCount: integer accumulation is commutative, so order is moot: clean.
+func MapCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Waived documents why the contract holds anyway.
+func Waived(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v //uerl:nondet-ok fixture: callers pass single-entry maps, so visit order cannot matter
+	}
+	return s
+}

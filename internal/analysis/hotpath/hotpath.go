@@ -1,0 +1,202 @@
+// Package hotpath checks the repo's zero-allocation serving contract:
+// functions annotated //uerl:hotpath (ObserveEvent/ObserveBatch/
+// Recommend, features.Observe/NormalizedInto, Replay.SampleInto,
+// rl.Agent.trainBatch, the nn kernels) are held to steady-state-zero
+// heap allocation by alloc-asserting tests and the BENCH_*.json guard;
+// this analyzer rejects the constructs that would silently put
+// allocations back:
+//
+//   - any fmt call (formatting always allocates);
+//   - non-constant string concatenation;
+//   - append (may grow capacity — hot paths index into preallocated
+//     buffers);
+//   - map/slice composite literals, make, and new;
+//   - closures that capture variables (closure + captures can escape to
+//     the heap);
+//   - interface boxing at call sites: passing a non-pointer-shaped
+//     concrete value where a parameter is an interface, including
+//     variadic ...any.
+//
+// Struct and array literals are values and stay allowed, and constructs
+// inside panic(...) arguments are exempt (a crashing program may
+// allocate its message). A finding on an
+// intentionally-cold branch (first-touch initialization, pooled-buffer
+// growth, open-coded defers) is waived with //uerl:alloc-ok <reason>.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the hot-path allocation checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "flag allocating constructs inside //uerl:hotpath functions",
+	Run:  run,
+}
+
+const waiver = "alloc-ok"
+
+func run(pass *analysis.Pass) error {
+	for fn := range pass.Markers.Hot {
+		if fn.Body == nil {
+			continue
+		}
+		check(pass, fn)
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Allocation inside a panic argument is irrelevant: the
+			// program is crashing. Guard clauses keep their Sprintf.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					return false
+				}
+			}
+			checkCall(pass, fn, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && analysis.IsString(typeOf(info, n)) {
+				if tv, ok := info.Types[n]; ok && tv.Value != nil {
+					break // constant-folded at compile time
+				}
+				pass.ReportWaivable(n.Pos(), waiver,
+					"string concatenation allocates on a hot path; write into a reused []byte")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && analysis.IsString(typeOf(info, n.Lhs[0])) {
+				pass.ReportWaivable(n.Pos(), waiver,
+					"string concatenation allocates on a hot path; write into a reused []byte")
+			}
+		case *ast.CompositeLit:
+			t := typeOf(info, n)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.ReportWaivable(n.Pos(), waiver,
+					"map literal allocates on a hot path; hoist it to initialization")
+			case *types.Slice:
+				pass.ReportWaivable(n.Pos(), waiver,
+					"slice literal allocates on a hot path; use a preallocated buffer or an array")
+			}
+		case *ast.FuncLit:
+			if name, ok := captured(info, fn, n); ok {
+				pass.ReportWaivable(n.Pos(), waiver,
+					"closure captures %q: the closure and its captures can escape to the heap; pass state explicitly or hoist the func", name)
+			}
+		}
+		return true
+	})
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type { return info.TypeOf(e) }
+
+func checkCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	if pkg, name, ok := analysis.PkgFunc(info, call); ok && pkg == "fmt" {
+		pass.ReportWaivable(call.Pos(), waiver,
+			"fmt.%s allocates (formatting state and boxed operands) on a hot path", name)
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				pass.ReportWaivable(call.Pos(), waiver,
+					"append may grow capacity on a hot path; index into a preallocated buffer")
+			case "make":
+				pass.ReportWaivable(call.Pos(), waiver,
+					"make allocates on a hot path; hoist the buffer to initialization or a scratch struct")
+			case "new":
+				pass.ReportWaivable(call.Pos(), waiver,
+					"new allocates on a hot path; reuse a scratch value")
+			}
+			return
+		}
+	}
+
+	// Interface boxing at the call site: a concrete, non-pointer-shaped
+	// argument passed where the parameter type is an interface.
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		// Conversions: T(x) with T an interface boxes x.
+		if ok && types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			at := info.TypeOf(call.Args[0])
+			if at != nil && !types.IsInterface(at) && !analysis.PointerShaped(at) && !isNil(info, call.Args[0]) {
+				pass.ReportWaivable(call.Pos(), waiver,
+					"conversion to interface boxes a %s on a hot path", at)
+			}
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || analysis.PointerShaped(at) || isNil(info, arg) {
+			continue
+		}
+		pass.ReportWaivable(arg.Pos(), waiver,
+			"passing %s as %s boxes the value on a hot path; take a concrete type or a pointer", at, pt)
+	}
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// captured reports a variable that lit captures from the enclosing
+// function fn: a non-package-level object declared inside fn but outside
+// lit.
+func captured(info *types.Info, fn *ast.FuncDecl, lit *ast.FuncLit) (string, bool) {
+	name, found := "", false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Pos() >= fn.Pos() && obj.Pos() < lit.Pos() {
+			name, found = obj.Name(), true
+		}
+		return true
+	})
+	return name, found
+}

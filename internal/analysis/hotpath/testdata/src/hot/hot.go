@@ -1,0 +1,120 @@
+// Package hot is the hotpath analyzer's fixture: each allocating
+// construct inside a //uerl:hotpath function, the //uerl:alloc-ok
+// suppression, and the patterns that must stay clean (struct/array
+// literals, panic guards, unmarked functions).
+package hot
+
+import "fmt"
+
+func takeAny(v any)          {}
+func takeVariadic(vs ...any) {}
+
+//uerl:hotpath
+func Format(x int) {
+	fmt.Println(x) // want `fmt.Println allocates`
+}
+
+//uerl:hotpath
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates on a hot path`
+}
+
+// ConstConcat is folded at compile time: clean.
+//
+//uerl:hotpath
+func ConstConcat() string {
+	return "a" + "b"
+}
+
+//uerl:hotpath
+func AppendStr(s, t string) string {
+	s += t // want `string concatenation allocates on a hot path`
+	return s
+}
+
+//uerl:hotpath
+func Grow(s []int, v int) []int {
+	return append(s, v) // want `append may grow capacity`
+}
+
+//uerl:hotpath
+func Make(n int) []int {
+	return make([]int, n) // want `make allocates on a hot path`
+}
+
+//uerl:hotpath
+func New() *int {
+	return new(int) // want `new allocates on a hot path`
+}
+
+//uerl:hotpath
+func MapLit(k string) map[string]int {
+	return map[string]int{k: 1} // want `map literal allocates`
+}
+
+//uerl:hotpath
+func SliceLit(v int) []int {
+	return []int{v} // want `slice literal allocates`
+}
+
+// ArrayLit builds a value, not a heap object: clean.
+//
+//uerl:hotpath
+func ArrayLit(v int) [2]int {
+	return [2]int{v, v}
+}
+
+//uerl:hotpath
+func Capture(n int) func() int {
+	return func() int { return n } // want `closure captures "n"`
+}
+
+// NoCapture closures are static code pointers: clean.
+//
+//uerl:hotpath
+func NoCapture() func() int {
+	return func() int { return 1 }
+}
+
+//uerl:hotpath
+func Box(x int) {
+	takeAny(x) // want `passing int as \S+ boxes the value`
+}
+
+// NoBoxPointer: pointer-shaped values fit the interface word directly.
+//
+//uerl:hotpath
+func NoBoxPointer(p *int) {
+	takeAny(p)
+}
+
+//uerl:hotpath
+func BoxVariadic(x float64) {
+	takeVariadic(x) // want `passing float64 as \S+ boxes the value`
+}
+
+//uerl:hotpath
+func Convert(x int) any {
+	return any(x) // want `conversion to interface boxes a int`
+}
+
+// Guard may allocate its panic message: a crashing program is exempt.
+//
+//uerl:hotpath
+func Guard(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("hot: negative %d", n))
+	}
+}
+
+// Pooled shows the waiver: the finding is real but intentionally cold.
+//
+//uerl:hotpath
+func Pooled(buf []int, v int) []int {
+	return append(buf, v) //uerl:alloc-ok fixture: pooled buffer grows to the working shape once, then recycles
+}
+
+// Cold is unmarked, so the analyzer ignores its allocations.
+func Cold() []int {
+	return make([]int, 8)
+}

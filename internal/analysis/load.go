@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// Errors holds `go list` package errors and type-check errors. A
+	// package with errors still carries best-effort syntax and types.
+	Errors []string
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load resolves the package patterns with the go command and type-checks
+// every matched (non-dependency) package from source, importing
+// dependencies from compiler export data. This is a go/packages
+// LoadAllSyntax-equivalent built on the standard library alone: `go list
+// -export` supplies package metadata and compiled export data, go/parser
+// and go/types do the rest. dir is the working directory for pattern
+// resolution ("" means the current directory).
+//
+// Patterns behave exactly like build patterns (./..., specific dirs,
+// import paths). Note that `./...` never matches testdata directories, so
+// analyzer fixtures stay out of repo-wide runs, while an explicit
+// pattern like ./internal/analysis/hotpath/testdata/src/hot loads them.
+func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=Dir,ImportPath,Export,DepOnly,GoFiles,Error",
+		"-deps", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg := &Package{PkgPath: t.ImportPath, Dir: t.Dir}
+		if t.Error != nil {
+			pkg.Errors = append(pkg.Errors, t.Error.Err)
+		}
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				pkg.Errors = append(pkg.Errors, err.Error())
+				continue
+			}
+			pkg.Files = append(pkg.Files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Implicits:  map[ast.Node]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		}
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+			Error:    func(err error) { pkg.Errors = append(pkg.Errors, err.Error()) },
+		}
+		tpkg, _ := conf.Check(t.ImportPath, fset, pkg.Files, info) // errors already collected
+		pkg.Types = tpkg
+		pkg.TypesInfo = info
+		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) == 0 {
+		return nil, nil, fmt.Errorf("go list %s: no packages matched", strings.Join(patterns, " "))
+	}
+	return pkgs, fset, nil
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+const markersSrc = `// Package m is a directive fixture.
+//
+//uerl:deterministic
+package m
+
+type mutex struct{}
+
+func (*mutex) Lock()   {}
+func (*mutex) Unlock() {}
+
+//uerl:hotpath
+func Hot() {}
+
+//uerl:locked mu
+func held() {}
+
+//uerl:serial-only shares one scratch buffer across calls
+type Serial struct {
+	mu mutex
+	//uerl:guarded-by mu
+	n int
+	//uerl:restrict-to A, B
+	total int
+}
+
+func Use() int {
+	a := 1 //uerl:nondet-ok same-line waiver reason
+	//uerl:alloc-ok line-above waiver reason
+	b := 2
+	return a + b
+}
+
+//uerl:nondet-ok
+
+//uerl:hotpath
+
+func unattached() {}
+
+//uerl:bogus something
+
+func alsoFine() {}
+`
+
+// parseFixture typechecks markersSrc (it has no imports, so no importer
+// is needed) and returns everything ParseMarkers wants.
+func parseFixture(t *testing.T) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "m.go", markersSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("m", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, f, info
+}
+
+// lineOf returns a position on the first source line containing substr.
+func lineOf(t *testing.T, fset *token.FileSet, f *ast.File, substr string) token.Pos {
+	t.Helper()
+	for i, line := range strings.Split(markersSrc, "\n") {
+		if strings.Contains(line, substr) {
+			return fset.File(f.Pos()).LineStart(i + 1)
+		}
+	}
+	t.Fatalf("fixture line containing %q not found", substr)
+	return token.NoPos
+}
+
+func TestParseMarkers(t *testing.T) {
+	fset, f, info := parseFixture(t)
+	m := ParseMarkers(fset, []*ast.File{f}, info)
+
+	if !m.Deterministic {
+		t.Error("package doc //uerl:deterministic not detected")
+	}
+
+	byName := map[string]*ast.FuncDecl{}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok {
+			byName[fn.Name.Name] = fn
+		}
+	}
+	if !m.Hot[byName["Hot"]] {
+		t.Error("//uerl:hotpath on Hot not detected")
+	}
+	if m.Hot[byName["unattached"]] {
+		t.Error("detached //uerl:hotpath wrongly attributed to unattached")
+	}
+	if mu := m.Locked[byName["held"]]; mu != "mu" {
+		t.Errorf("//uerl:locked on held = %q, want \"mu\"", mu)
+	}
+
+	wantSerial, wantGuarded, wantRestricted := false, false, false
+	for obj, reason := range m.SerialOnly {
+		if obj.Name() == "Serial" && strings.Contains(reason, "scratch buffer") {
+			wantSerial = true
+		}
+	}
+	for obj, mu := range m.Guarded {
+		if obj.Name() == "n" && mu == "mu" {
+			wantGuarded = true
+		}
+	}
+	for obj, fns := range m.Restricted {
+		if obj.Name() == "total" && len(fns) == 2 && fns[0] == "A" && fns[1] == "B" {
+			wantRestricted = true
+		}
+	}
+	if !wantSerial {
+		t.Error("//uerl:serial-only on Serial not detected")
+	}
+	if !wantGuarded {
+		t.Error("//uerl:guarded-by on field n not detected")
+	}
+	if !wantRestricted {
+		t.Error("//uerl:restrict-to on field total not parsed to [A B]")
+	}
+}
+
+func TestWaiverPlacement(t *testing.T) {
+	fset, f, info := parseFixture(t)
+	m := ParseMarkers(fset, []*ast.File{f}, info)
+
+	if !m.Waived("nondet-ok", lineOf(t, fset, f, "a := 1")) {
+		t.Error("same-line //uerl:nondet-ok waiver not matched")
+	}
+	if !m.Waived("alloc-ok", lineOf(t, fset, f, "b := 2")) {
+		t.Error("line-above //uerl:alloc-ok waiver not matched")
+	}
+	if m.Waived("alloc-ok", lineOf(t, fset, f, "a := 1")) {
+		t.Error("alloc-ok waiver matched a nondet-ok line")
+	}
+	if m.Waived("nondet-ok", lineOf(t, fset, f, "return a + b")) {
+		t.Error("waiver leaked two lines down")
+	}
+}
+
+func TestDirectiveProblems(t *testing.T) {
+	fset, f, info := parseFixture(t)
+	m := ParseMarkers(fset, []*ast.File{f}, info)
+
+	find := func(substr string) bool {
+		for _, p := range m.Problems {
+			if strings.Contains(p.Message, substr) {
+				return true
+			}
+		}
+		return false
+	}
+	if !find("needs a reason") {
+		t.Error("bare //uerl:nondet-ok not reported as missing its reason")
+	}
+	if !find("not attached to a declaration") {
+		t.Error("detached //uerl:hotpath not reported as unattached")
+	}
+	if !find("unknown directive //uerl:bogus") {
+		t.Error("//uerl:bogus not reported as unknown")
+	}
+	if len(m.Problems) != 3 {
+		for _, p := range m.Problems {
+			t.Logf("problem: %s: %s", fset.Position(p.Pos), p.Message)
+		}
+		t.Errorf("got %d directive problems, want 3", len(m.Problems))
+	}
+
+	// DirectiveAnalyzer surfaces exactly these problems as diagnostics.
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: DirectiveAnalyzer, Fset: fset, Files: []*ast.File{f},
+		Markers: m, sink: &diags,
+	}
+	if err := DirectiveAnalyzer.Run(pass); err != nil {
+		t.Fatalf("DirectiveAnalyzer: %v", err)
+	}
+	if len(diags) != len(m.Problems) {
+		t.Errorf("DirectiveAnalyzer reported %d diagnostics, want %d", len(diags), len(m.Problems))
+	}
+}

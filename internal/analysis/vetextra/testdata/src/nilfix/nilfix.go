@@ -1,0 +1,77 @@
+// Package nilfix is the nilness analyzer's fixture: dereferences inside
+// the branch that just proved the value nil (positives), and the legal
+// nil uses — map reads, method calls on nil receivers, reassignment
+// before use (negatives).
+package nilfix
+
+type box struct{ v int }
+
+func Deref(p *int) int {
+	if p == nil {
+		return *p // want `dereference of "p" inside the branch where it is nil`
+	}
+	return *p
+}
+
+func Field(b *box) int {
+	if b == nil {
+		return b.v // want `field access b.v inside the branch where "b" is nil`
+	}
+	return b.v
+}
+
+func Index(xs []int) int {
+	if xs == nil {
+		return xs[0] // want `index of "xs" inside the branch where it is nil`
+	}
+	return xs[0]
+}
+
+func MapWrite(m map[string]int) {
+	if m == nil {
+		m["k"] = 1 // want `write to nil map "m"`
+	}
+}
+
+// MapRead: reading a nil map is legal and yields the zero value: clean.
+func MapRead(m map[string]int) int {
+	if m == nil {
+		return m["k"]
+	}
+	return m["k"]
+}
+
+func Call(f func()) {
+	if f == nil {
+		f() // want `call of "f" inside the branch where it is nil`
+	}
+}
+
+// Else: with != the nil branch is the else arm.
+func Else(p *int) int {
+	if p != nil {
+		return *p
+	} else {
+		return *p // want `dereference of "p" inside the branch where it is nil`
+	}
+}
+
+// Reassigned: the branch repairs the nil before using it: clean.
+func Reassigned(p *int) int {
+	if p == nil {
+		p = new(int)
+		return *p
+	}
+	return *p
+}
+
+type nilok struct{}
+
+func (*nilok) m() {}
+
+// Method: calling a method on a nil receiver is legal: clean.
+func Method(n *nilok) {
+	if n == nil {
+		n.m()
+	}
+}

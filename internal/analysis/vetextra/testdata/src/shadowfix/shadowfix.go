@@ -1,0 +1,63 @@
+// Package shadowfix is the shadow analyzer's fixture: a same-typed inner
+// redeclaration whose outer variable is read afterwards (positive), the
+// idiomatic write-before-read err reuse, a different-typed shadow, and an
+// outer variable that dies with the block (negatives).
+package shadowfix
+
+import "errors"
+
+var errEmpty = errors.New("empty")
+
+func check(xs []int) error {
+	if len(xs) == 0 {
+		return errEmpty
+	}
+	return nil
+}
+
+// ReadAfter: the outer n is read after the inner scope ends, so the two
+// variables are almost certainly believed to be one.
+func ReadAfter(xs []int) int {
+	n := 0
+	if len(xs) > 0 {
+		n := xs[0] // want `declaration of "n" shadows a int declared at`
+		_ = n
+	}
+	return n
+}
+
+// WriteFirst: the first post-scope use of the outer err is a write, so
+// the shadowed value is never observed — idiomatic err reuse: clean.
+func WriteFirst(xs []int) error {
+	err := check(xs)
+	if err != nil {
+		return err
+	}
+	if len(xs) > 1 {
+		if err := check(xs[1:]); err != nil {
+			return err
+		}
+	}
+	err = check(nil)
+	return err
+}
+
+// DiffType: redeclaring the name with another type is deliberate: clean.
+func DiffType() int {
+	n := 0
+	{
+		n := "shadow"
+		_ = n
+	}
+	return n
+}
+
+// DeadAfter: the outer n is never read after the inner scope: clean.
+func DeadAfter(xs []int) int {
+	n := len(xs)
+	if n > 0 {
+		n := xs[0]
+		return n
+	}
+	return 0
+}

@@ -1,0 +1,39 @@
+// Package unusedfix is the unusedwrite analyzer's fixture: field writes
+// through a struct copy that are discarded (positives), and the reads,
+// pointer receivers, and loop backedges that keep writes live
+// (negatives).
+package unusedfix
+
+type point struct{ x, y int }
+
+// Discard writes to a parameter copy and returns: the write is lost.
+func Discard(p point) {
+	p.x = 1 // want `unused write to p.x`
+}
+
+// SetX is the classic value-receiver setter whose mutation is discarded.
+func (p point) SetX(v int) {
+	p.x = v // want `unused write to p.x`
+}
+
+// Used reads the copy after the write: clean.
+func Used(p point) int {
+	p.x = 1
+	return p.x
+}
+
+// Pointer writes through a pointer mutate shared state: clean.
+func Pointer(p *point) {
+	p.x = 1
+}
+
+// Backedge: the next loop iteration reads this iteration's write: clean.
+func Backedge(n int) int {
+	var acc point
+	out := 0
+	for i := 0; i < n; i++ {
+		out = acc.x
+		acc.x = out + i
+	}
+	return out
+}

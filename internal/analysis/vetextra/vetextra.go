@@ -1,0 +1,380 @@
+// Package vetextra carries the standard vet passes that are not in `go
+// vet`'s default set — shadow, unusedwrite, nilness — reimplemented on
+// the standard library (this module has no third-party dependencies, so
+// the golang.org/x/tools originals are unavailable). Each is a
+// deliberately conservative subset of its x/tools namesake, tuned for a
+// near-zero false-positive rate so the suite can gate CI:
+//
+//   - shadow flags an inner := redeclaration of an outer variable only
+//     when the types are identical and the outer variable is still read
+//     after the inner scope ends — the case where a reader almost
+//     certainly believes the two are one variable.
+//
+//   - unusedwrite flags writes to fields of a by-value receiver (or a
+//     local struct copy) when the written copy is never read afterwards:
+//     the classic value-receiver setter whose mutation is discarded at
+//     return.
+//
+//   - nilness flags dereferences of a variable inside the branch that
+//     just established it is nil (`if x == nil { ... *x ... }`): pointer
+//     and field derefs, slice indexing, calls, and map writes.
+package vetextra
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzers is the full extra-vet set, in the order uerlvet runs them.
+var Analyzers = []*analysis.Analyzer{Shadow, UnusedWrite, Nilness}
+
+// Shadow reports inner declarations that shadow an outer variable of the
+// same type while the outer variable is still live afterwards.
+var Shadow = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "flag := declarations shadowing a same-typed outer variable that is read after the inner scope ends",
+	Run:  runShadow,
+}
+
+func runShadow(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || as.Tok != token.DEFINE {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					inner, ok := info.Defs[id].(*types.Var)
+					if !ok {
+						continue
+					}
+					checkShadow(pass, fn, id, inner)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkShadow(pass *analysis.Pass, fn *ast.FuncDecl, id *ast.Ident, inner *types.Var) {
+	info := pass.TypesInfo
+	scope := inner.Parent()
+	if scope == nil {
+		return
+	}
+	// Find the nearest outer declaration of the same name visible here
+	// (package-level shadowing is idiomatic and excluded).
+	parent := scope.Parent()
+	if parent == nil {
+		return
+	}
+	_, obj := parent.LookupParent(id.Name, id.Pos())
+	outer, ok := obj.(*types.Var)
+	if !ok || outer == inner || outer.Pos() == token.NoPos ||
+		outer.Pos() < fn.Pos() || outer.Pos() > fn.End() ||
+		!types.Identical(outer.Type(), inner.Type()) {
+		return
+	}
+	// Only a problem if the outer variable is READ after the inner scope
+	// ends — otherwise the shadow is harmless. Bare assignment targets
+	// (`x, err := f()` reusing err, `err = f()`) are writes, not reads:
+	// they start a fresh value, so the shadowed one was never observed.
+	writeTargets := map[*ast.Ident]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if u, ok := lhs.(*ast.Ident); ok {
+					writeTargets[u] = true
+				}
+			}
+		}
+		return true
+	})
+	// The first post-scope use decides: a write means the code starts a
+	// fresh value (idiomatic err reuse — harmless); a read means the
+	// stale shadowed value is observed.
+	end := scope.End()
+	firstRead, firstWrite := token.NoPos, token.NoPos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		u, ok := n.(*ast.Ident)
+		if !ok || u.Pos() <= end || info.Uses[u] != outer {
+			return true
+		}
+		if writeTargets[u] {
+			if firstWrite == token.NoPos || u.Pos() < firstWrite {
+				firstWrite = u.Pos()
+			}
+		} else if firstRead == token.NoPos || u.Pos() < firstRead {
+			firstRead = u.Pos()
+		}
+		return true
+	})
+	usedAfter := firstRead != token.NoPos &&
+		(firstWrite == token.NoPos || firstRead < firstWrite)
+	if usedAfter {
+		pass.Reportf(id.Pos(),
+			"declaration of %q shadows a %s declared at %s that is still used afterwards",
+			id.Name, outer.Type(), pass.Fset.Position(outer.Pos()))
+	}
+}
+
+// UnusedWrite reports field writes through a struct copy that is never
+// read again — the mutation is discarded.
+var UnusedWrite = &analysis.Analyzer{
+	Name: "unusedwrite",
+	Doc:  "flag field writes to a by-value receiver or local struct copy that is never read afterwards",
+	Run:  runUnusedWrite,
+}
+
+func runUnusedWrite(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for _, lhs := range as.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					base, ok := sel.X.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					v, ok := info.Uses[base].(*types.Var)
+					if !ok || v.IsField() {
+						continue
+					}
+					// Only struct values held directly (not pointers):
+					// writes through a pointer mutate shared state.
+					if _, isStruct := v.Type().Underlying().(*types.Struct); !isStruct {
+						continue
+					}
+					if v.Pos() < fn.Pos() || v.Pos() > fn.End() {
+						continue // package-level or captured-from-elsewhere
+					}
+					if !readAfter(pass, fn, v, as) {
+						pass.Reportf(sel.Pos(),
+							"unused write to %s.%s: %q is a struct copy that is never read after this assignment",
+							base.Name, sel.Sel.Name, base.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// readAfter reports whether v is read after the write statement. A use
+// is a read unless it is itself the base of a field-write LHS. Writes
+// inside a loop count any use in the same loop as "after" (the
+// backedge).
+func readAfter(pass *analysis.Pass, fn *ast.FuncDecl, v *types.Var, write *ast.AssignStmt) bool {
+	info := pass.TypesInfo
+
+	// Collect LHS base idents of field writes so they don't count as reads.
+	writeBases := map[*ast.Ident]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if sel, ok := lhs.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					writeBases[id] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// The smallest enclosing loop of the write, if any.
+	var loop ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n.Pos() <= write.Pos() && write.End() <= n.End() {
+				loop = n
+			}
+		}
+		return true
+	})
+
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != v || writeBases[id] {
+			return true
+		}
+		if id.Pos() > write.End() {
+			found = true
+		} else if loop != nil && id.Pos() >= loop.Pos() && id.Pos() <= loop.End() {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// Nilness reports dereferences of a variable inside the branch that just
+// proved it nil.
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "flag dereferences of a variable inside an `if x == nil` branch",
+	Run:  runNilness,
+}
+
+func runNilness(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			cond, ok := ifs.Cond.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			switch {
+			case isNilExpr(info, cond.Y):
+				id, _ = cond.X.(*ast.Ident)
+			case isNilExpr(info, cond.X):
+				id, _ = cond.Y.(*ast.Ident)
+			}
+			if id == nil {
+				return true
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			var nilBranch ast.Stmt
+			switch cond.Op {
+			case token.EQL:
+				nilBranch = ifs.Body
+			case token.NEQ:
+				nilBranch = ifs.Else
+			}
+			if nilBranch == nil {
+				return true
+			}
+			checkNilBranch(pass, nilBranch, v)
+			return true
+		})
+	}
+	return nil
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// checkNilBranch flags derefs of v inside the branch where v is nil,
+// unless v is reassigned anywhere in the branch (conservative).
+func checkNilBranch(pass *analysis.Pass, branch ast.Stmt, v *types.Var) {
+	info := pass.TypesInfo
+	reassigned := false
+	ast.Inspect(branch, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && info.ObjectOf(id) == v {
+				reassigned = true
+			}
+		}
+		return true
+	})
+	if reassigned {
+		return
+	}
+	usesV := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && info.Uses[id] == v
+	}
+	ast.Inspect(branch, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StarExpr:
+			if usesV(n.X) {
+				pass.Reportf(n.Pos(), "dereference of %q inside the branch where it is nil", v.Name())
+			}
+		case *ast.SelectorExpr:
+			// Field access through a nil pointer panics; method calls on
+			// nil receivers can be legal, so only flag field selections.
+			if usesV(n.X) {
+				if sel := info.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+					if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+						pass.Reportf(n.Pos(), "field access %s.%s inside the branch where %q is nil", v.Name(), n.Sel.Name, v.Name())
+					}
+				}
+			}
+		case *ast.IndexExpr:
+			if !usesV(n.X) {
+				return true
+			}
+			switch v.Type().Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "index of %q inside the branch where it is nil", v.Name())
+			case *types.Map:
+				// Reading a nil map is legal; writing panics.
+				if isAssignTarget(branch, n) {
+					pass.Reportf(n.Pos(), "write to nil map %q inside the branch where it is nil", v.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if usesV(n.Fun) {
+				pass.Reportf(n.Pos(), "call of %q inside the branch where it is nil", v.Name())
+			}
+		}
+		return true
+	})
+}
+
+// isAssignTarget reports whether expr appears as an assignment LHS
+// within root.
+func isAssignTarget(root ast.Node, expr ast.Expr) bool {
+	target := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if lhs == expr {
+				target = true
+			}
+		}
+		return true
+	})
+	return target
+}

@@ -1,0 +1,20 @@
+package vetextra_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/vetextra"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, vetextra.Shadow, "testdata/src/shadowfix")
+}
+
+func TestUnusedWrite(t *testing.T) {
+	analysistest.Run(t, vetextra.UnusedWrite, "testdata/src/unusedfix")
+}
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, vetextra.Nilness, "testdata/src/nilfix")
+}

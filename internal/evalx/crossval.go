@@ -397,11 +397,11 @@ func evaluateSplit(cfg CVConfig, world cvWorld, spec splitSpec, warm **rl.Agent)
 	var rlPolicy rl.Policy
 	rlCost := 0.0
 	if cfg.IncludeRL {
-		rlStart := time.Now()
+		rlStart := time.Now() //uerl:nondet-ok §4.3 RL training cost is charged as measured wallclock; trained weights stay seed-deterministic
 		trainTicks := ticksUpTo(byNode, spec.trainTo)
 		useValidation := hasUEIn(world.art.UETimes, spec.valFrom, spec.trainTo)
 		rlPolicy = trainRL(cfg, trainTicks, sampler, spec, useValidation, warm)
-		rlCost = time.Since(rlStart).Hours()
+		rlCost = time.Since(rlStart).Hours() //uerl:nondet-ok wallclock training-cost metadata, see above
 	}
 
 	// --- Assemble deciders.

@@ -4,6 +4,8 @@
 // prediction window (§4.4), the SC20-RF optimal-threshold protocol, RF
 // training-set construction, and the time-series nested cross-validation
 // driver (§4.1).
+//
+//uerl:deterministic
 package evalx
 
 import (

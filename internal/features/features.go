@@ -90,6 +90,8 @@ var normPool = sync.Pool{New: func() any { return new([Dim]float64) }}
 // pooled scratch, then recycles the buffer. It is the shared zero-alloc
 // idiom for concurrent decision paths (the serving RL policy and the
 // replay RL decider); f must not retain the slice past the call.
+//
+//uerl:hotpath
 func (v Vector) WithNormalized(f func(norm []float64)) {
 	buf := normPool.Get().(*[Dim]float64)
 	f(v.NormalizedInto(buf[:]))
@@ -100,6 +102,8 @@ func (v Vector) WithNormalized(f func(norm []float64)) {
 // network input representation into out (len >= Dim) and returns out[:Dim].
 // It is the hot serving path: Observe → NormalizedInto → ForwardInto
 // allocates nothing.
+//
+//uerl:hotpath
 func (v Vector) NormalizedInto(out []float64) []float64 {
 	out = out[:Dim]
 	for i := 0; i < Dim; i++ {
@@ -272,6 +276,8 @@ func (tr *Tracker) Reset() {
 // Observe ingests a tick's events and returns the feature vector at the
 // tick time with the supplied potential UE cost. Ticks must be fed in
 // chronological order.
+//
+//uerl:hotpath
 func (tr *Tracker) Observe(tick errlog.Tick, ueCost float64) Vector {
 	if !tr.started {
 		tr.started = true
@@ -323,6 +329,8 @@ func (tr *Tracker) Observe(tick errlog.Tick, ueCost float64) Vector {
 // snapshot is recorded and no counters move. It is the read-only query
 // path used by Controller.Recommend, so polling a node never changes its
 // features. now must not precede the last observed tick.
+//
+//uerl:hotpath
 func (tr *Tracker) Peek(now time.Time, ueCost float64) Vector {
 	v := tr.vectorAt(now, 0, ueCost)
 	if v[HoursSinceBoot] < 0 {
@@ -335,6 +343,8 @@ func (tr *Tracker) Peek(now time.Time, ueCost float64) Vector {
 }
 
 // vectorAt assembles the feature vector for time t from current counters.
+//
+//uerl:hotpath
 func (tr *Tracker) vectorAt(t time.Time, ceNow, ueCost float64) Vector {
 	var v Vector
 	v[CEsSinceLastEvent] = ceNow
@@ -363,10 +373,13 @@ func (tr *Tracker) vectorAt(t time.Time, ceNow, ueCost float64) Vector {
 // variation implements Eq. 2: value(now) / value(now-Δt), zero when the
 // denominator is zero. value(now-Δt) is the feature's value at the latest
 // snapshot at or before now-Δt (features only change at events).
+//
+//uerl:hotpath
 func (tr *Tracker) variation(now time.Time, dt time.Duration, get func(snapshot) float64, nowVal float64) float64 {
 	cutoff := now.Add(-dt)
 	// sort.Search for the first snapshot with t > cutoff; its predecessor
 	// is the last snapshot at or before the cutoff.
+	//uerl:alloc-ok the predicate closure does not escape sort.Search, so it stays on the stack; Observe/Peek are alloc-asserted at 0 allocs/op
 	idx := sort.Search(tr.history.size, func(i int) bool {
 		return tr.history.at(i).t.After(cutoff)
 	}) - 1

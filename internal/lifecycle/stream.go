@@ -6,6 +6,8 @@
 // that decides when retraining is warranted. The root package's
 // OnlineLearner wires these into the Controller's drift → retrain →
 // shadow-evaluate → hot-swap loop.
+//
+//uerl:deterministic
 package lifecycle
 
 import (

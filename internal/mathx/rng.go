@@ -7,6 +7,8 @@
 // seed. The RNG type deliberately mirrors the subset of *rand.Rand that the
 // simulators need, adding the distributions (Poisson, log-normal, bounded
 // Pareto) that the standard library does not provide.
+//
+//uerl:deterministic
 package mathx
 
 import (

@@ -62,6 +62,8 @@ func (n *Network) NewBatchScratch(batch int) *BatchScratch {
 // Per-sample, per-output arithmetic matches dense.forward exactly (each
 // row keeps dot's lane structure), so batched outputs stay bit-identical
 // to the serial path.
+//
+//uerl:hotpath
 func (d *dense) forwardBatch(x, y []float64, nb int, relu bool) {
 	in, out := d.in, d.out
 	var o int
@@ -111,6 +113,8 @@ func (d *dense) forwardBatch(x, y []float64, nb int, relu bool) {
 // reproduces serial gradients bit for bit. The input-gradient loop blocks
 // weight-row pairs (axpy2) to stream each sample's gradient row once per
 // two outputs.
+//
+//uerl:hotpath
 func (d *dense) backwardBatch(x, dy, dx []float64, nb int) {
 	in, out := d.in, d.out
 	for o := 0; o < out; o++ {
@@ -162,6 +166,8 @@ func (d *dense) backwardBatch(x, dy, dx []float64, nb int) {
 // owned by s (valid until the next ForwardBatchInto on s). ReLU is fused
 // into each hidden layer's forward pass. Outputs are bit-identical to nb
 // independent ForwardInto calls.
+//
+//uerl:hotpath
 func (n *Network) ForwardBatchInto(s *BatchScratch, xs []float64, nb int) []float64 {
 	if nb <= 0 || nb > s.batch {
 		panic(fmt.Sprintf("nn: batch %d out of range (scratch holds %d)", nb, s.batch))
@@ -199,6 +205,8 @@ func (n *Network) ForwardBatchInto(s *BatchScratch, xs []float64, nb int) []floa
 // row-major in dOut (len nb*Outputs). Gradient accumulation order matches
 // nb sequential Backward calls exactly, so a batched train step leaves the
 // same gradients as the serial loop.
+//
+//uerl:hotpath
 func (n *Network) BackwardBatch(s *BatchScratch, dOut []float64, nb int) {
 	if nb <= 0 || nb > s.batch {
 		panic(fmt.Sprintf("nn: batch %d out of range (scratch holds %d)", nb, s.batch))

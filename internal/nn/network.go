@@ -7,6 +7,8 @@
 // The package is deliberately scoped to what the paper's agent needs
 // (§3.3.2: an MLP with hidden layers 256-256-128-64 feeding a dueling
 // value/advantage head), but the layers and optimizers are generic.
+//
+//uerl:deterministic
 package nn
 
 import (
@@ -83,6 +85,8 @@ func newDense(in, out int, rng *mathx.RNG) *dense {
 // batched — funnels through this kernel (or through dot2, which computes
 // each row with the identical lane structure), so all paths produce
 // bit-identical outputs.
+//
+//uerl:hotpath
 func dot(a, b []float64) float64 {
 	b = b[:len(a)] // one bounds check up front
 	var s0, s1, s2, s3 float64
@@ -104,6 +108,8 @@ func dot(a, b []float64) float64 {
 // (its own four accumulators, combined (s0+s1)+(s2+s3)), so
 // dot2(a, b, x) ≡ (dot(a, x), dot(b, x)) bit for bit — this is the
 // register-blocked kernel behind the batched forward pass.
+//
+//uerl:hotpath
 func dot2(a, b, x []float64) (float64, float64) {
 	x = x[:len(a)]
 	b = b[:len(a)]
@@ -132,6 +138,8 @@ func dot2(a, b, x []float64) (float64, float64) {
 // per-element statements so each element sees exactly the rounding
 // sequence of axpy(a, xa, y); axpy(b, xb, y) — the blocked form used by
 // the batched input-gradient pass to stream y once per two weight rows.
+//
+//uerl:hotpath
 func axpy2(a float64, xa []float64, b float64, xb, y []float64) {
 	y = y[:len(xa)]
 	xb = xb[:len(xa)]
@@ -154,6 +162,8 @@ func axpy2(a float64, xa []float64, b float64, xb, y []float64) {
 
 // axpy accumulates y += alpha*x. Shared by the serial and batched backward
 // passes so gradient accumulation is bit-identical between them.
+//
+//uerl:hotpath
 func axpy(alpha float64, x, y []float64) {
 	y = y[:len(x)] // one bounds check up front
 	n4 := len(x) &^ 3
@@ -168,6 +178,7 @@ func axpy(alpha float64, x, y []float64) {
 	}
 }
 
+//uerl:hotpath
 func (d *dense) forward(x, y []float64) {
 	for o := 0; o < d.out; o++ {
 		row := d.w.W[o*d.in : (o+1)*d.in]
@@ -178,6 +189,8 @@ func (d *dense) forward(x, y []float64) {
 // backward accumulates gradients given the layer input x and upstream
 // gradient dy, and writes the input gradient into dx (which may be nil for
 // the first layer).
+//
+//uerl:hotpath
 func (d *dense) backward(x, dy, dx []float64) {
 	for o := 0; o < d.out; o++ {
 		g := dy[o]
@@ -316,6 +329,8 @@ func (n *Network) Forward(x []float64) []float64 {
 
 // ForwardInto runs a forward pass using s for intermediates and returns the
 // output slice owned by s (valid until the next ForwardInto on s).
+//
+//uerl:hotpath
 func (n *Network) ForwardInto(s *Scratch, x []float64) []float64 {
 	if len(x) != n.cfg.Inputs {
 		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), n.cfg.Inputs))
@@ -343,6 +358,8 @@ func (n *Network) ForwardInto(s *Scratch, x []float64) []float64 {
 // Backward accumulates parameter gradients for the most recent ForwardInto
 // on s, given dLoss/dOutput in dOut. It must be called with the same Scratch
 // used for the forward pass, before any further forward passes on it.
+//
+//uerl:hotpath
 func (n *Network) Backward(s *Scratch, dOut []float64) {
 	last := len(n.hidden) // index of last activation in s.acts
 	lastAct := s.acts[last]
@@ -362,9 +379,12 @@ func (n *Network) Backward(s *Scratch, dOut []float64) {
 		for i := range s.dA {
 			s.dA[i] = dOut[i] - meanG
 		}
-		dv := []float64{sum}
+		// dv is a stack array: a []float64{sum} literal here was the one
+		// allocation left on the serial dueling backward path (uerlvet).
+		var dv [1]float64
+		dv[0] = sum
 		// Both heads contribute to the last hidden gradient.
-		n.value.backward(lastAct, dv, dHidden)
+		n.value.backward(lastAct, dv[:], dHidden)
 		tmp := s.dPrev[:width]
 		n.adv.backward(lastAct, s.dA, tmp)
 		for i := range dHidden {
@@ -397,6 +417,7 @@ func (n *Network) Backward(s *Scratch, dOut []float64) {
 	}
 }
 
+//uerl:hotpath
 func relu(pre, post []float64) {
 	for i, v := range pre {
 		if v > 0 {

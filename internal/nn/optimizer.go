@@ -83,6 +83,8 @@ type Adam struct {
 }
 
 // Step implements Optimizer.
+//
+//uerl:hotpath
 func (o *Adam) Step(params []*Param) {
 	if o.m == nil {
 		o.m = makeState(params)

@@ -17,6 +17,8 @@ import (
 // The trailing-day growth is approximated from the Table 1 features: the
 // CE-count variation ratio over one hour (Eq. 2) and the current totals.
 // Like mcelog, it is completely workload-blind.
+//
+//uerl:serial-only Decide mutates the shared per-node lastTriggerTotal map, so parallel replay must (and does) fall back to the serial path
 type CEThreshold struct {
 	// Threshold is the corrected-error count that triggers action
 	// (mcelog's default page-offline trigger is in the tens).

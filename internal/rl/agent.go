@@ -310,6 +310,8 @@ func (a *Agent) SyncTarget() { a.target.CopyFrom(a.online) }
 // The batched kernels accumulate in the same order as the serial loop, so
 // gradients — and therefore training trajectories — are bit-identical to
 // the one-transition-at-a-time implementation (see trainBatchSerial).
+//
+//uerl:hotpath
 func (a *Agent) trainBatch() float64 {
 	if a.serialTrain {
 		return a.trainBatchSerial()

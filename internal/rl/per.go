@@ -104,6 +104,8 @@ func (p *PrioritizedReplay) Sample(rng *mathx.RNG, n int) ([]Transition, []int, 
 
 // SampleInto implements Replay without allocating, using the same
 // stratified draws (and the same RNG stream) as Sample.
+//
+//uerl:hotpath
 func (p *PrioritizedReplay) SampleInto(rng *mathx.RNG, trs []Transition, handles []int, ws []float64) int {
 	if p.size == 0 {
 		return 0

@@ -53,6 +53,8 @@ func (p *SharedQPolicy) QValues(out, state []float64) []float64 {
 
 // QValuesInto writes the Q-values for state into dst (len >= the network's
 // output count) without allocating. Safe for concurrent use.
+//
+//uerl:hotpath
 func (p *SharedQPolicy) QValuesInto(dst, state []float64) {
 	scr := p.pool.Get().(*nn.Scratch)
 	copy(dst, p.net.ForwardInto(scr, state))

@@ -3,6 +3,8 @@
 // 2015), ε-greedy exploration schedules, and a dueling double deep
 // Q-network agent (Mnih et al. 2013; van Hasselt et al. 2016; Wang et al.
 // 2016) built on the nn package.
+//
+//uerl:deterministic
 package rl
 
 import (
@@ -89,6 +91,8 @@ func (u *UniformReplay) Sample(rng *mathx.RNG, n int) ([]Transition, []int, []fl
 }
 
 // SampleInto implements Replay without allocating.
+//
+//uerl:hotpath
 func (u *UniformReplay) SampleInto(rng *mathx.RNG, trs []Transition, handles []int, ws []float64) int {
 	size := u.Len()
 	if size == 0 {
