@@ -15,6 +15,14 @@
 //	          [-retrain-min 256] [-epoch-steps 64] [-shadow 128] [-shadow-ues 1]
 //	          [-save final.json] [-json]
 //
+// With -guard the lifecycle runs behind the production guardrails:
+// budgets (-node-budget, -fleet-budget, -promotions-per-day), promotion
+// approval (-approve auto|deny), and post-promotion probation with
+// rollback-on-regression (-probation, -probation-tolerance). An
+// adversarial UE burst can be injected late in the run (-burst-day,
+// -burst-ues, -burst-nodes) to demonstrate a regressive promotion being
+// rolled back along its lineage chain.
+//
 // The whole run is deterministic for a fixed flag set.
 package main
 
@@ -39,6 +47,9 @@ type scenario struct {
 	Events    int     `json:"events"`
 	UEs       int     `json:"ues"`
 	Initial   string  `json:"initial_version"`
+	Guarded   bool    `json:"guarded,omitempty"`
+	BurstDay  float64 `json:"burst_day,omitempty"`
+	BurstUEs  int     `json:"burst_ues,omitempty"`
 }
 
 type jsonReport struct {
@@ -68,6 +79,19 @@ func main() {
 	shadowUEs := flag.Int("shadow-ues", 1, "realized UEs required in the shadow window before promotion is judged (0 judges on mitigation spend alone)")
 	save := flag.String("save", "", "save the final serving model artifact to this path")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the text log")
+
+	guarded := flag.Bool("guard", false, "run the lifecycle behind production guardrails")
+	nodeBudget := flag.Float64("node-budget", 0, "per-node checkpoint budget in node-hours per window (0 disables)")
+	nodeBudgetWindow := flag.Duration("node-budget-window", 24*time.Hour, "sliding window of the per-node budget")
+	fleetBudget := flag.Int("fleet-budget", 0, "fleet-wide mitigation budget per window (0 disables)")
+	fleetBudgetWindow := flag.Duration("fleet-budget-window", time.Hour, "sliding window of the fleet budget")
+	promotionsPerDay := flag.Int("promotions-per-day", 0, "promotion budget per sliding 24h (0 disables)")
+	approve := flag.String("approve", "auto", "promotion approval hook: auto or deny")
+	probation := flag.Int("probation", 4096, "post-promotion probation window in decisions (0 disables rollback)")
+	probationTol := flag.Float64("probation-tolerance", 5, "probation regression tolerance in node-hours")
+	burstDay := flag.Float64("burst-day", 0, "day an adversarial UE burst strikes (0 disables)")
+	burstUEs := flag.Int("burst-ues", 32, "UEs in the injected burst")
+	burstNodes := flag.Int("burst-nodes", 8, "nodes the burst strikes round-robin")
 	flag.Parse()
 
 	initial, err := initialPolicy(*policy, *model)
@@ -76,25 +100,55 @@ func main() {
 	}
 
 	stream, ues := generateStream(*seed, *nodes, *days, *driftDay, *driftMult)
+	if *burstDay > 0 && *burstDay < *days && len(stream) > 0 {
+		burst := burstEvents(stream[0].Time, *burstDay, *burstUEs, *burstNodes, *nodes)
+		stream = mergeByTime(stream, burst)
+		ues += len(burst)
+	}
 	sc := scenario{
 		Seed: *seed, Nodes: *nodes, Days: *days, DriftDay: *driftDay, DriftMult: *driftMult,
 		Events: len(stream), UEs: ues, Initial: initial.Version(),
+		Guarded: *guarded, BurstDay: *burstDay, BurstUEs: *burstUEs,
 	}
 	if !*jsonOut {
 		fmt.Printf("scenario: %d nodes, %.0f days, %d events (%d UEs), fault shift ×%.0f at day %.0f\n",
 			sc.Nodes, sc.Days, sc.Events, sc.UEs, sc.DriftMult, sc.DriftDay)
+		if *burstDay > 0 {
+			fmt.Printf("adversarial burst: %d UEs across %d nodes at day %.0f\n", *burstUEs, *burstNodes, *burstDay)
+		}
 		fmt.Printf("serving %s (%s)\n", initial.Name(), initial.Version())
 	}
 
 	ctl := uerl.NewController(initial)
-	learner := uerl.NewOnlineLearner(ctl,
+	opts := []uerl.LearnerOption{
 		uerl.WithLearnerSeed(*seed),
 		uerl.WithCostSource(uerl.ConstantCost(*cost)),
 		uerl.WithLearnerMitigationCost(*mitcost),
 		uerl.WithDriftDetection(*driftThreshold, *driftWindow),
 		uerl.WithRetraining(*retrainMin, *epochSteps),
 		uerl.WithShadowGate(*shadow, *shadowUEs),
-	)
+	}
+	var g *uerl.Guard
+	if *guarded {
+		hook := uerl.AutoApprove()
+		switch *approve {
+		case "auto":
+		case "deny":
+			hook = uerl.DenyPromotions("operator freeze (-approve deny)")
+		default:
+			fatal(fmt.Errorf("unknown -approve %q (want auto or deny)", *approve))
+		}
+		g = uerl.NewGuard(ctl,
+			uerl.WithNodeCheckpointBudget(*nodeBudget, *nodeBudgetWindow),
+			uerl.WithFleetMitigationBudget(*fleetBudget, *fleetBudgetWindow),
+			uerl.WithPromotionBudget(*promotionsPerDay),
+			uerl.WithApprovalHook(hook),
+			uerl.WithProbation(*probation, *probationTol),
+			uerl.WithGuardMitigationCost(*mitcost),
+		)
+		opts = append(opts, uerl.WithGuard(g))
+	}
+	learner := uerl.NewOnlineLearner(ctl, opts...)
 
 	var start time.Time
 	if len(stream) > 0 {
@@ -106,9 +160,9 @@ func main() {
 		if *jsonOut {
 			continue
 		}
-		for _, ev := range learner.Events()[printed:] {
+		for _, ev := range learner.EventsSince(printed) {
 			fmt.Printf("[day %5.1f] %-7s %s", ev.Time.Sub(start).Hours()/24, ev.Kind, ev.Detail)
-			if ev.Kind != uerl.LifecycleDrift {
+			if ev.Kind != uerl.LifecycleDrift && ev.ModelVersion != "" {
 				fmt.Printf(" (model %s)", ev.ModelVersion)
 			}
 			fmt.Println()
@@ -117,7 +171,7 @@ func main() {
 	}
 
 	stats := learner.Stats()
-	lineage := lineageChain(initial.Version(), learner.Events())
+	lineage := lineageChain(initial.Version(), stats.ServingVersion, learner.Events())
 	if *save != "" {
 		if err := uerl.SaveModelFile(*save, ctl.Policy()); err != nil {
 			fatal(err)
@@ -136,6 +190,11 @@ func main() {
 	fmt.Printf("\nfinal: generation %d, serving %s\n", stats.Generation, stats.ServingVersion)
 	fmt.Printf("decisions=%d ues=%d transitions=%d (dropped %d) epochs=%d\n",
 		stats.Decisions, stats.UEs, stats.Transitions, stats.DroppedTransitions, stats.Epochs)
+	if gs := stats.Guard; gs != nil {
+		fmt.Printf("guard: suppressed=%d trips=%d promotions=%d denied=%d rollbacks=%d probation=%v\n",
+			gs.SuppressedMitigations, gs.BudgetTrips, gs.Promotions, gs.DeniedPromotions,
+			gs.Rollbacks, gs.ProbationActive)
+	}
 	fmt.Print("lineage:")
 	for i, v := range lineage {
 		if i > 0 {
@@ -221,18 +280,60 @@ func generateStream(seed int64, nodes int, days, driftDay, driftMult float64) ([
 	return out, ues
 }
 
-// lineageChain walks the promotion events into the served model's version
-// chain, newest first.
-func lineageChain(initial string, events []uerl.LifecycleEvent) []string {
-	chain := []string{initial}
-	for _, ev := range events {
-		if ev.Kind == uerl.LifecyclePromote {
-			chain = append(chain, ev.ModelVersion)
+// burstEvents synthesizes a deterministic adversarial UE burst striking
+// round-robin across the first burstNodes of the fleet at the given day.
+func burstEvents(start time.Time, day float64, count, burstNodes, fleetNodes int) []uerl.Event {
+	if burstNodes <= 0 || burstNodes > fleetNodes {
+		burstNodes = fleetNodes
+	}
+	at := start.Add(time.Duration(day * 24 * float64(time.Hour)))
+	out := make([]uerl.Event, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, uerl.Event{
+			Time: at.Add(time.Duration(i) * 15 * time.Second),
+			Node: i % burstNodes, Type: uerl.UncorrectedError, Count: 1,
+		})
+	}
+	return out
+}
+
+// mergeByTime merges two time-ordered event slices into one.
+func mergeByTime(a, b []uerl.Event) []uerl.Event {
+	out := make([]uerl.Event, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if !b[j].Time.Before(a[i].Time) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
 		}
 	}
-	// Reverse: newest first.
-	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
-		chain[i], chain[j] = chain[j], chain[i]
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// lineageChain reconstructs the served model's version chain, newest
+// first, ending at the initial policy. It walks Parent links recorded on
+// the lifecycle events starting from the final serving version, so a
+// post-rollback chain correctly ends where serving actually landed
+// rather than at the last promotion.
+func lineageChain(initial, serving string, events []uerl.LifecycleEvent) []string {
+	parent := map[string]string{}
+	for _, ev := range events {
+		if ev.ModelVersion != "" && ev.Parent != "" {
+			parent[ev.ModelVersion] = ev.Parent
+		}
+	}
+	chain := []string{}
+	seen := map[string]bool{}
+	for v := serving; v != "" && !seen[v]; v = parent[v] {
+		chain = append(chain, v)
+		seen[v] = true
+	}
+	if len(chain) == 0 || chain[len(chain)-1] != initial {
+		chain = append(chain, initial)
 	}
 	return chain
 }

@@ -98,6 +98,11 @@ type Controller struct {
 	// pointer exchange and never a torn read; uerlvet enforces the list.
 	//uerl:restrict-to NewController,Policy,SwapPolicy
 	policy atomic.Pointer[Policy]
+	// guard optionally vetoes mitigation recommendations against tripped
+	// budgets, independent of the serving policy and of any learner
+	// driving it; NewGuard attaches it exactly once. Unguarded
+	// controllers pay one nil atomic load per Recommend.
+	guard  atomic.Pointer[Guard]
 	now    func() time.Time
 	shards []*ctlShard
 	mask   uint64
@@ -282,7 +287,28 @@ func (c *Controller) Recommend(node int, at time.Time, potentialCostNodeHours fl
 	if d.ModelVersion == "" {
 		d.ModelVersion = policy.Version()
 	}
+	// Guard consult: a tripped mitigation budget degrades the decision to
+	// ActionNone instead of serving it — graceful suppression, never an
+	// error. The check is read-shaped (window expiry only), so Recommend
+	// stays side-effect-free w.r.t. node state and allocation-free; budget
+	// accounting is charged from the served-decision stream (see
+	// Guard.ObserveDecision), not from polling.
+	if g := c.guard.Load(); g != nil && d.Mitigate() {
+		if ok, reason := g.allowMitigation(node, at); !ok {
+			d.Action = ActionNone
+			d.Vetoed = true
+			d.VetoReason = reason
+		}
+	}
 	return d
+}
+
+// attachGuard installs g as the controller's mitigation gate. One guard
+// per controller: NewGuard calls this, and a second attachment panics.
+func (c *Controller) attachGuard(g *Guard) {
+	if !c.guard.CompareAndSwap(nil, g) {
+		panic("uerl: controller already has a guard attached")
+	}
 }
 
 // RecommendNow is Recommend at the controller clock's current time (see

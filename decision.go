@@ -78,6 +78,15 @@ type Decision struct {
 	Policy string
 	// ModelVersion identifies the model artifact (see Policy.Version).
 	ModelVersion string
+	// Vetoed reports that the serving policy recommended mitigation but
+	// an attached Guard suppressed it against a tripped budget: Action is
+	// ActionNone while Score/QValues still carry the policy's judgment,
+	// so audits can see both what the model wanted and what the guard
+	// allowed. VetoReason names the tripped budget.
+	Vetoed bool
+	// VetoReason names the budget that suppressed the mitigation (see
+	// the guard package's Reason constants); empty when Vetoed is false.
+	VetoReason string
 }
 
 // Mitigate reports whether the decision is to mitigate.

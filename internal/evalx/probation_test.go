@@ -1,0 +1,81 @@
+package evalx
+
+import (
+	"testing"
+	"time"
+)
+
+func probT(min int) time.Time {
+	return time.Date(2026, 4, 1, 0, min, 0, 0, time.UTC)
+}
+
+func newTestProbation(minDecisions int, tol float64) *Probation {
+	return NewProbation(ProbationConfig{
+		Shadow:             ShadowConfig{MitigationCostNodeHours: 2.0 / 60, Restartable: true},
+		MinDecisions:       minDecisions,
+		ToleranceNodeHours: tol,
+	})
+}
+
+// A promoted model that skips a mitigation the reference would have made
+// regresses by the full realized UE cost once the UE lands.
+func TestProbationRegressionOnMissedUE(t *testing.T) {
+	p := newTestProbation(100, 5)
+	// Quiet prefix: both sides decide identically; no regression.
+	for i := 0; i < 10; i++ {
+		p.Decision(1, probT(i), false, false)
+	}
+	if v := p.Verdict(); v.Decided {
+		t.Fatalf("probation decided on identical traffic: %+v", v)
+	}
+	// The promoted model declines the mitigation the reference takes...
+	p.Decision(1, probT(20), false, true)
+	// ...and the UE it would have caught lands inside the window.
+	p.UE(1, probT(30), 100)
+	v := p.Verdict()
+	if !v.Decided || !v.Regressed {
+		t.Fatalf("missed-UE regression not detected: %+v", v)
+	}
+	// Margin: promoted paid 100 nh UE cost; reference paid one mitigation.
+	want := 100 - 2.0/60
+	if diff := v.MarginNodeHours - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("margin = %v, want %v", v.MarginNodeHours, want)
+	}
+}
+
+// Spend-only differences below tolerance pass probation at the window.
+func TestProbationPassWithinTolerance(t *testing.T) {
+	p := newTestProbation(32, 5)
+	for i := 0; i < 32; i++ {
+		// The promoted model mitigates slightly more than the reference —
+		// a pure spend difference far below the 5 nh tolerance.
+		p.Decision(i%4, probT(i), i%8 == 0, false)
+	}
+	v := p.Verdict()
+	if !v.Decided || v.Regressed {
+		t.Fatalf("within-tolerance probation did not pass: %+v", v)
+	}
+	if v.MarginNodeHours <= 0 {
+		t.Fatalf("expected positive (but tolerated) margin, got %v", v.MarginNodeHours)
+	}
+}
+
+// Over-mitigation alone can regress past tolerance too.
+func TestProbationRegressionOnSpend(t *testing.T) {
+	p := newTestProbation(1<<20, 0.5)
+	for i := 0; i < 20; i++ {
+		p.Decision(i, probT(i), true, false)
+		if v := p.Verdict(); v.Decided {
+			if !v.Regressed {
+				t.Fatalf("spend regression decided as pass: %+v", v)
+			}
+			// 0.5 nh tolerance at 1/30 nh per mitigation: trips at the
+			// 16th extra mitigation.
+			if v.Decisions != 16 {
+				t.Fatalf("spend regression tripped after %d decisions, want 16", v.Decisions)
+			}
+			return
+		}
+	}
+	t.Fatal("pure spend regression never tripped")
+}

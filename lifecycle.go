@@ -41,6 +41,21 @@ const (
 	// LifecycleReject marks a candidate losing its shadow evaluation and
 	// being discarded.
 	LifecycleReject LifecycleEventKind = "reject"
+	// LifecycleBudgetTrip marks a Guard budget limit crossing: a node or
+	// fleet mitigation budget suppressing mitigations, or the promotion
+	// budget freezing a promotion. Recorded once per crossing.
+	LifecycleBudgetTrip LifecycleEventKind = "budget-trip"
+	// LifecycleApprovalGrant marks an ApprovalHook approving a promotion.
+	LifecycleApprovalGrant LifecycleEventKind = "approval-grant"
+	// LifecycleApprovalDeny marks an ApprovalHook denying a promotion;
+	// the candidate is discarded.
+	LifecycleApprovalDeny LifecycleEventKind = "approval-deny"
+	// LifecycleRollback marks a probation regression rolled back: the
+	// serving policy was hot-swapped to a retained lineage ancestor.
+	LifecycleRollback LifecycleEventKind = "rollback"
+	// LifecycleProbationPass marks a promoted model surviving its
+	// post-promotion probation window.
+	LifecycleProbationPass LifecycleEventKind = "probation-pass"
 )
 
 // LifecycleEvent is one entry of the online learner's audit log.
@@ -85,6 +100,9 @@ type LearnerStats struct {
 	ShadowActive bool `json:"shadow_active"`
 	// ServingVersion is the currently served model version.
 	ServingVersion string `json:"serving_version"`
+	// Guard summarizes the attached Guard's enforcement activity; nil
+	// when the learner runs unguarded.
+	Guard *GuardStats `json:"guard,omitempty"`
 }
 
 // pendingStep is a decision awaiting its outcome: the transition from it
@@ -139,6 +157,8 @@ type OnlineLearner struct {
 	ues          int
 	generation   int
 	events       []LifecycleEvent
+	// guardSeen is the merge cursor into the guard's own audit log.
+	guardSeen int
 }
 
 // NewOnlineLearner attaches a continual-learning lifecycle to ctl.
@@ -149,6 +169,9 @@ func NewOnlineLearner(ctl *Controller, opts ...LearnerOption) *OnlineLearner {
 	cfg := defaultLearnerConfig()
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.guard != nil && cfg.guard.Controller() != ctl {
+		panic("uerl: WithGuard guard wraps a different controller than the learner serves")
 	}
 	l := &OnlineLearner{
 		ctl: ctl,
@@ -227,6 +250,12 @@ func (l *OnlineLearner) processUE(e Event) {
 		l.shadowCand.UE(e.Node, e.Time, realized)
 		l.judgeShadow(e.Time)
 	}
+	if l.cfg.guard != nil {
+		// Probation charges the realized cost; a regression past
+		// tolerance rolls the serving policy back right here.
+		l.cfg.guard.ObserveUE(e.Node, e.Time, realized)
+		l.syncGuard()
+	}
 }
 
 // processDecision handles a non-UE event: a decision tick. Caller holds
@@ -236,6 +265,11 @@ func (l *OnlineLearner) processDecision(e Event) {
 	cost := l.cfg.cost(e.Node, e.Time)
 	d := l.ctl.Recommend(e.Node, e.Time, cost)
 	l.decisions++
+	if l.cfg.guard != nil {
+		// Budget accounting and probation scoring run off the served
+		// decision stream — the same decision the fleet just acted on.
+		l.cfg.guard.ObserveDecision(d)
+	}
 
 	norm := features.Vector(d.Features).Normalized()
 	action := 0
@@ -280,6 +314,9 @@ func (l *OnlineLearner) processDecision(e Event) {
 			l.retrain(e.Time)
 		}
 	}
+	if l.cfg.guard != nil {
+		l.syncGuard()
+	}
 }
 
 // retrain runs one training epoch over the buffered live experience and
@@ -312,8 +349,14 @@ func (l *OnlineLearner) retrain(at time.Time) {
 		fail("retrained weights identical to the incumbent")
 		return
 	}
-	_ = SetModelParent(cand, incumbent.Version())
-	l.candidate = cand
+	var staged Policy = cand
+	if l.cfg.candidateHook != nil {
+		if hooked := l.cfg.candidateHook(staged); hooked != nil {
+			staged = hooked
+		}
+	}
+	_ = SetModelParent(staged, incumbent.Version())
+	l.candidate = staged
 	l.shadowInc.Reset()
 	l.shadowCand = evalx.NewShadowEval("candidate", evalx.ShadowConfig{
 		MitigationCostNodeHours: l.cfg.mitigationCostNodeMinutes / 60,
@@ -321,7 +364,7 @@ func (l *OnlineLearner) retrain(at time.Time) {
 	})
 	l.record(LifecycleEvent{
 		Kind: LifecycleRetrain, Time: at, Generation: l.generation,
-		ModelVersion: cand.Version(), Parent: incumbent.Version(), Score: res.MeanLoss,
+		ModelVersion: staged.Version(), Parent: incumbent.Version(), Score: res.MeanLoss,
 		Detail: fmt.Sprintf("epoch %d: %d transitions, %d steps", res.Epoch, res.Drained, res.Steps),
 	})
 }
@@ -341,13 +384,28 @@ func (l *OnlineLearner) judgeShadow(at time.Time) {
 		Detail: fmt.Sprintf("shadow over %d decisions / %d UEs: candidate %.1f nh vs incumbent %.1f nh",
 			cand.Decisions, cand.UEs, cand.TotalCost(), inc.TotalCost()),
 	}
-	if advantage >= 0 {
+	switch {
+	case advantage < 0:
+		ev.Kind, ev.Generation = LifecycleReject, l.generation
+	case !l.guardApproves(at, advantage, cand.Decisions, cand.UEs):
+		// The guard already recorded the budget-trip or approval-deny
+		// audit event; the learner records the discard.
+		ev.Kind, ev.Generation = LifecycleReject, l.generation
+		ev.Detail = "guard blocked promotion: " + ev.Detail
+	default:
+		incumbent := l.ctl.Policy()
 		l.ctl.SwapPolicy(l.candidate)
 		l.generation++
 		l.drift.Rebase()
+		if l.cfg.guard != nil {
+			l.cfg.guard.notePromotion(incumbent, l.candidate, at)
+		}
 		ev.Kind, ev.Generation = LifecyclePromote, l.generation
-	} else {
-		ev.Kind, ev.Generation = LifecycleReject, l.generation
+	}
+	if l.cfg.guard != nil {
+		// Merge the verdict's guard events (approval, budget trip) ahead
+		// of the learner's own record, keeping the audit log causal.
+		l.syncGuard()
 	}
 	l.record(ev)
 	l.candidate = nil
@@ -355,16 +413,61 @@ func (l *OnlineLearner) judgeShadow(at time.Time) {
 	l.shadowInc.Reset()
 }
 
+// guardApproves submits the shadow-winning candidate to the guard's
+// promotion gates (budget, then approval hook). Caller holds l.mu; the
+// approval hook may block, during which serving traffic — which never
+// takes l.mu — proceeds untouched.
+func (l *OnlineLearner) guardApproves(at time.Time, advantage float64, decisions, ues int) bool {
+	if l.cfg.guard == nil {
+		return true
+	}
+	ok, _ := l.cfg.guard.reviewPromotion(PromotionRequest{
+		Candidate:       l.candidate.Version(),
+		Incumbent:       l.ctl.Policy().Version(),
+		Generation:      l.generation,
+		Time:            at,
+		ShadowAdvantage: advantage,
+		ShadowDecisions: decisions,
+		ShadowUEs:       ues,
+	})
+	return ok
+}
+
 func (l *OnlineLearner) record(ev LifecycleEvent) {
 	l.events = append(l.events, ev)
 }
 
-// Events returns a copy of the lifecycle audit log.
+// syncGuard merges audit events the guard recorded since the last sync
+// (budget trips, approval verdicts, rollbacks, probation passes) into
+// the learner's lifecycle log, keeping one chronological audit trail.
+// Caller holds l.mu.
+func (l *OnlineLearner) syncGuard() {
+	evs, seen := l.cfg.guard.eventsSince(l.guardSeen)
+	l.events = append(l.events, evs...)
+	l.guardSeen = seen
+}
+
+// Events returns a copy of the lifecycle audit log, including any
+// guard audit events merged so far.
 func (l *OnlineLearner) Events() []LifecycleEvent {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := make([]LifecycleEvent, len(l.events))
 	copy(out, l.events)
+	return out
+}
+
+// EventsSince returns a copy of the audit log entries from index n on —
+// the incremental form of Events for live tailing. Out-of-range n
+// returns an empty slice.
+func (l *OnlineLearner) EventsSince(n int) []LifecycleEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < 0 || n > len(l.events) {
+		return nil
+	}
+	out := make([]LifecycleEvent, len(l.events)-n)
+	copy(out, l.events[n:])
 	return out
 }
 
@@ -379,7 +482,7 @@ func (l *OnlineLearner) Generation() int {
 func (l *OnlineLearner) Stats() LearnerStats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return LearnerStats{
+	st := LearnerStats{
 		Decisions:          l.decisions,
 		UEs:                l.ues,
 		Transitions:        l.trainer.Stream().Pushed(),
@@ -389,4 +492,9 @@ func (l *OnlineLearner) Stats() LearnerStats {
 		ShadowActive:       l.candidate != nil,
 		ServingVersion:     l.ctl.Policy().Version(),
 	}
+	if l.cfg.guard != nil {
+		gs := l.cfg.guard.Stats()
+		st.Guard = &gs
+	}
+	return st
 }

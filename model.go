@@ -119,6 +119,11 @@ func ModelParent(p Policy) string {
 // was retrained from). Only the trained kinds (rl, sc20-rf, myopic-rf)
 // carry lineage.
 func SetModelParent(p Policy, parentVersion string) error {
+	if parentVersion != "" && parentVersion == p.Version() {
+		// A self-parent would make the lineage chain a cycle, and every
+		// chain walker (rollback, uerlserve's lineage report) loop.
+		return fmt.Errorf("uerl: model %s cannot be its own lineage parent", parentVersion)
+	}
 	switch q := p.(type) {
 	case *rlPolicy:
 		q.parent = parentVersion
@@ -247,8 +252,13 @@ func LoadModel(r io.Reader) (Policy, error) {
 			h.Version, p.Version())
 	}
 	if h.Parent != "" {
+		if h.Parent == h.Version {
+			return nil, fmt.Errorf("uerl: model artifact %s names itself as lineage parent", h.Version)
+		}
 		// Lineage only exists on trained kinds; a parent on any other
-		// kind means the header was edited by hand.
+		// kind means the header was edited by hand. SetModelParent also
+		// re-checks the self-parent cycle against the recomputed version,
+		// which catches artifacts whose header Version was stripped.
 		if err := SetModelParent(p, h.Parent); err != nil {
 			return nil, err
 		}

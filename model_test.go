@@ -150,7 +150,13 @@ func tamper(t *testing.T, p Policy, edit func(env map[string]json.RawMessage, he
 }
 
 func TestModelLineageRoundTrip(t *testing.T) {
-	parent := testRLPolicy(t)
+	// The parent needs distinct weights: identical policies share a
+	// content version, and a same-version parent is a self-parent cycle.
+	pnet := nn.New(nn.Config{Inputs: features.Dim, Hidden: []int{16, 8}, Outputs: 2, Dueling: true, Seed: 4})
+	parent, err := newRLPolicy(pnet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	child := testRLPolicy(t)
 	if got := ModelParent(child); got != "" {
 		t.Fatalf("fresh policy has parent %q", got)
@@ -201,6 +207,26 @@ func TestModelLineageRoundTrip(t *testing.T) {
 	}
 	if got := ModelParent(roundTrip(t, rfp)); got != "sc20-rf.v1.feedbeef" {
 		t.Fatalf("forest lineage lost: %q", got)
+	}
+}
+
+// A model naming itself as its lineage parent is a one-link cycle: every
+// chain walker (guard rollback, uerlserve's lineage report) would loop.
+func TestModelRejectsSelfParent(t *testing.T) {
+	p := testRLPolicy(t)
+	if err := SetModelParent(p, p.Version()); err == nil {
+		t.Fatal("SetModelParent accepted a self-parent cycle")
+	}
+	if got := ModelParent(p); got != "" {
+		t.Fatalf("rejected self-parent was still recorded: %q", got)
+	}
+
+	// The same cycle hand-edited into an artifact header must not load.
+	data := tamper(t, testRLPolicy(t), func(_ map[string]json.RawMessage, h map[string]any) {
+		h["parent"] = h["version"]
+	})
+	if _, err := LoadModel(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "parent") {
+		t.Fatalf("self-parent artifact accepted (err=%v)", err)
 	}
 }
 

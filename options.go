@@ -113,6 +113,12 @@ type learnerConfig struct {
 
 	shadowMinDecisions int
 	shadowMinUEs       int
+
+	guard *Guard
+	// candidateHook, when set, intercepts every candidate retrain stages
+	// (fault-injection seam for guard tests: substitute a deliberately
+	// regressive candidate without depending on training outcomes).
+	candidateHook func(Policy) Policy
 }
 
 // LearnerOption configures NewOnlineLearner.
@@ -200,6 +206,22 @@ func WithLearnerNetwork(hidden ...int) LearnerOption {
 	}
 }
 
+// WithGuard attaches a Guard to the learner: the learner routes every
+// served decision and realized UE through it for budget accounting and
+// probation scoring, submits every shadow-winning candidate to its
+// promotion gates (budget + approval hook), and merges its audit events
+// into the lifecycle log. The guard must wrap the same controller the
+// learner serves (NewOnlineLearner panics otherwise).
+func WithGuard(g *Guard) LearnerOption {
+	return func(c *learnerConfig) { c.guard = g }
+}
+
+// withCandidateHook intercepts staged candidates (test seam; see
+// learnerConfig.candidateHook).
+func withCandidateHook(hook func(Policy) Policy) LearnerOption {
+	return func(c *learnerConfig) { c.candidateHook = hook }
+}
+
 // defaultLearnerConfig seeds the learner option struct.
 func defaultLearnerConfig() learnerConfig {
 	return learnerConfig{
@@ -216,6 +238,115 @@ func defaultLearnerConfig() learnerConfig {
 		hidden:                    []int{32, 16},
 		shadowMinDecisions:        256,
 		shadowMinUEs:              1,
+	}
+}
+
+// guardConfig collects NewGuard options.
+type guardConfig struct {
+	mitigationCostNodeMinutes float64
+	restartable               bool
+
+	nodeBudgetNodeHours float64
+	nodeWindow          time.Duration
+	fleetMitigations    int
+	fleetWindow         time.Duration
+	promotionsPerWindow int
+	promotionWindow     time.Duration
+
+	hook                 ApprovalHook
+	probationDecisions   int
+	probationToleranceNH float64
+}
+
+// GuardOption configures NewGuard.
+type GuardOption func(*guardConfig)
+
+// WithNodeCheckpointBudget caps the checkpoint node-hours any single
+// node may spend on mitigation within a sliding window (default window
+// 24h). Beyond the cap, that node's mitigations are suppressed (served
+// as ActionNone with Decision.Vetoed set) until spend slides back under.
+// nodeHours <= 0 disables the budget (the default).
+func WithNodeCheckpointBudget(nodeHours float64, window time.Duration) GuardOption {
+	return func(c *guardConfig) {
+		c.nodeBudgetNodeHours = nodeHours
+		if window > 0 {
+			c.nodeWindow = window
+		}
+	}
+}
+
+// WithFleetMitigationBudget caps the fleet-wide mitigation count within
+// a sliding window (default window 1h) — the blast-radius limit against
+// a policy gone mitigation-happy. max <= 0 disables (the default).
+func WithFleetMitigationBudget(max int, window time.Duration) GuardOption {
+	return func(c *guardConfig) {
+		c.fleetMitigations = max
+		if window > 0 {
+			c.fleetWindow = window
+		}
+	}
+}
+
+// WithPromotionBudget caps promotions per sliding 24h window; further
+// shadow-winning candidates are frozen (discarded with a budget-trip
+// audit event) until the window slides. perDay <= 0 disables (the
+// default).
+func WithPromotionBudget(perDay int) GuardOption {
+	return func(c *guardConfig) {
+		c.promotionsPerWindow = perDay
+		c.promotionWindow = 24 * time.Hour
+	}
+}
+
+// WithApprovalHook sets the promotion approval hook (default
+// AutoApprove). See ApprovalHook, DenyPromotions, ApprovalCallback.
+func WithApprovalHook(h ApprovalHook) GuardOption {
+	return func(c *guardConfig) {
+		if h != nil {
+			c.hook = h
+		}
+	}
+}
+
+// WithProbation sets the post-promotion probation window (default 256
+// decisions, 5 node-hours tolerance): the replaced incumbent keeps
+// scoring as a counterfactual, and a promoted model that regresses past
+// the tolerance before surviving the window is rolled back via its
+// lineage chain. decisions <= 0 disables probation.
+func WithProbation(decisions int, toleranceNodeHours float64) GuardOption {
+	return func(c *guardConfig) {
+		c.probationDecisions = decisions
+		c.probationToleranceNH = toleranceNodeHours
+	}
+}
+
+// WithGuardMitigationCost sets the checkpoint cost per mitigation in
+// node-minutes (default 2) that budget accounting and probation scoring
+// charge — keep it equal to the learner's WithLearnerMitigationCost.
+func WithGuardMitigationCost(nodeMinutes float64) GuardOption {
+	return func(c *guardConfig) { c.mitigationCostNodeMinutes = nodeMinutes }
+}
+
+// WithGuardRestartable selects whether mitigation establishes a restart
+// point for probation accounting (default true) — keep it equal to the
+// learner's WithLearnerRestartable.
+func WithGuardRestartable(restartable bool) GuardOption {
+	return func(c *guardConfig) { c.restartable = restartable }
+}
+
+// defaultGuardConfig seeds the guard option struct: all budgets
+// disabled, auto-approval, probation on at 256 decisions with 5
+// node-hours tolerance.
+func defaultGuardConfig() guardConfig {
+	return guardConfig{
+		mitigationCostNodeMinutes: 2,
+		restartable:               true,
+		nodeWindow:                24 * time.Hour,
+		fleetWindow:               time.Hour,
+		promotionWindow:           24 * time.Hour,
+		hook:                      AutoApprove(),
+		probationDecisions:        256,
+		probationToleranceNH:      5,
 	}
 }
 

@@ -16,6 +16,18 @@ cd "$(dirname "$0")/.."
 echo "== uerlvet ./... =="
 go run ./cmd/uerlvet ./...
 
+echo "== uerlvet guardrail layer (explicit pass) =="
+# The budget ledger must stay a declared-deterministic package: telemetry
+# time only, no wall clock. A dedicated pass keeps the guard layer
+# covered even if the module-wide invocation above is ever narrowed, and
+# the marker grep fails loudly if someone drops the declaration (which
+# would silently exempt internal/guard from the determinism analyzers).
+go run ./cmd/uerlvet ./internal/guard ./internal/evalx .
+if ! grep -q '^//uerl:deterministic' internal/guard/guard.go; then
+  echo "lint: internal/guard lost its //uerl:deterministic package marker" >&2
+  exit 1
+fi
+
 echo "== uerlvet fixture self-check (each must produce findings) =="
 fixtures=(
   internal/analysis/determinism/testdata/src/det
