@@ -25,8 +25,8 @@ type Agent struct {
 func (s *System) TrainAgent() *Agent {
 	split := s.trainedSplit()
 	a := &Agent{}
-	if split.Agent != nil {
-		a.net = split.Agent.Online().Clone()
+	if split.Net != nil {
+		a.net = split.Net.Clone()
 	}
 	return a
 }

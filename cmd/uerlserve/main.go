@@ -35,6 +35,7 @@ import (
 	uerl "repro"
 	"repro/internal/cliio"
 	"repro/internal/errlog"
+	"repro/internal/nn"
 	"repro/internal/telemetry"
 )
 
@@ -77,6 +78,8 @@ func main() {
 	epochSteps := flag.Int("epoch-steps", 64, "gradient steps per retraining epoch")
 	shadow := flag.Int("shadow", 128, "shadow decisions required before promotion is judged")
 	shadowUEs := flag.Int("shadow-ues", 1, "realized UEs required in the shadow window before promotion is judged (0 judges on mitigation spend alone)")
+	kernel := flag.String("kernel", "reference", "training kernel/stream version: reference (bit-exact legacy stream) or fast (FMA kernels + data-parallel chunked gradients; serving inference always uses reference)")
+	trainWorkers := flag.Int("train-workers", 0, "workers computing minibatch chunk gradients under -kernel fast (0 = GOMAXPROCS; weights are bit-identical for every value)")
 	save := flag.String("save", "", "save the final serving model artifact to this path")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the text log")
 
@@ -119,6 +122,15 @@ func main() {
 		fmt.Printf("serving %s (%s)\n", initial.Name(), initial.Version())
 	}
 
+	kernelVersion := nn.KernelReference
+	switch *kernel {
+	case "reference":
+	case "fast":
+		kernelVersion = nn.KernelFast
+	default:
+		fatal(fmt.Errorf("unknown -kernel %q (want reference or fast)", *kernel))
+	}
+
 	ctl := uerl.NewController(initial)
 	opts := []uerl.LearnerOption{
 		uerl.WithLearnerSeed(*seed),
@@ -127,6 +139,8 @@ func main() {
 		uerl.WithDriftDetection(*driftThreshold, *driftWindow),
 		uerl.WithRetraining(*retrainMin, *epochSteps),
 		uerl.WithShadowGate(*shadow, *shadowUEs),
+		uerl.WithLearnerKernel(kernelVersion),
+		uerl.WithLearnerTrainWorkers(*trainWorkers),
 	}
 	var g *uerl.Guard
 	if *guarded {

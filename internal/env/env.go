@@ -55,6 +55,12 @@ type Config struct {
 	FocusUEWindow int
 	// Seed drives node selection and job sequences.
 	Seed int64
+	// FastRNG backs the environment's RNG with the O(copy)-forkable PCG
+	// source instead of math/rand's default source. The stream differs from
+	// the default for the same seed, so it is part of the nn.KernelFast
+	// training configuration rather than a silent swap; evaluation replay is
+	// unaffected. The zero value keeps the legacy source.
+	FastRNG bool
 }
 
 // DefaultConfig returns the paper's main configuration.
@@ -88,6 +94,13 @@ type MitigationEnv struct {
 	tracker *features.Tracker
 	tl      *Timeline
 	state   []float64
+	// sbuf/sflip ping-pong the state vector between two buffers so a step
+	// allocates nothing: the slice returned by the previous Reset/Step stays
+	// valid exactly one more step — long enough for the caller to hand it to
+	// the replay buffer (which copies, see rl.Transition interning) as S
+	// while this step's output becomes NextS.
+	sbuf  [2][]float64
+	sflip int
 }
 
 // NewMitigationEnv builds an environment over the given per-node tick
@@ -105,11 +118,15 @@ func NewMitigationEnv(cfg Config, ticksByNode [][]errlog.Tick, sampler *jobs.Sam
 	if cfg.RewardScale <= 0 {
 		cfg.RewardScale = 0.01
 	}
+	rng := mathx.NewRNG(cfg.Seed)
+	if cfg.FastRNG {
+		rng = mathx.NewFastRNG(cfg.Seed)
+	}
 	e := &MitigationEnv{
 		cfg:     cfg,
 		nodes:   nodes,
 		sampler: sampler,
-		rng:     mathx.NewRNG(cfg.Seed),
+		rng:     rng,
 		tracker: features.NewTracker(),
 	}
 	if cfg.UENodeBoost > 1 {
@@ -203,13 +220,26 @@ func (e *MitigationEnv) Reset() []float64 {
 			continue
 		}
 		v := e.tracker.Observe(tick, e.tl.CostAt(tick.Time))
-		e.state = v.Normalized()
+		e.state = v.NormalizedInto(e.nextStateBuf())
 		return e.state
 	}
 	// Degenerate: the node's ticks are all UEs. Produce a terminal-ish
 	// state; the first Step will end the episode.
-	e.state = make([]float64, features.Dim)
+	e.state = e.nextStateBuf()
+	for i := range e.state {
+		e.state[i] = 0
+	}
 	return e.state
+}
+
+// nextStateBuf flips to the other ping-pong state buffer, allocating it on
+// first use.
+func (e *MitigationEnv) nextStateBuf() []float64 {
+	e.sflip ^= 1
+	if e.sbuf[e.sflip] == nil {
+		e.sbuf[e.sflip] = make([]float64, features.Dim)
+	}
+	return e.sbuf[e.sflip]
 }
 
 // ueTime returns the timestamp of the first UE event in the tick (more
@@ -252,7 +282,7 @@ func (e *MitigationEnv) Step(action int) ([]float64, float64, bool) {
 			continue
 		}
 		v := e.tracker.Observe(tick, e.tl.CostAt(tick.Time))
-		e.state = v.Normalized()
+		e.state = v.NormalizedInto(e.nextStateBuf())
 		return e.state, reward * e.cfg.RewardScale, false
 	}
 	// Episode over.

@@ -267,3 +267,87 @@ func TestEnvDeterministicEpisodes(t *testing.T) {
 		}
 	}
 }
+
+// TestEnvStatePingPong: consecutive Reset/Step states must come from two
+// alternating buffers — the previous state stays valid for exactly one more
+// step (the caller hands it to the replay buffer, which copies), and the
+// step loop allocates no per-step state vectors.
+func TestEnvStatePingPong(t *testing.T) {
+	ticks := [][]errlog.Tick{{
+		mkTick(1, 0, errlog.CE),
+		mkTick(1, time.Hour, errlog.CE),
+		mkTick(1, 2*time.Hour, errlog.CE),
+		mkTick(1, 3*time.Hour, errlog.CE),
+	}}
+	e := NewMitigationEnv(DefaultConfig(), ticks, fixedSampler(5, 1000))
+	s0 := e.Reset()
+	s1, _, _ := e.Step(ActionNone)
+	if &s0[0] == &s1[0] {
+		t.Fatal("Step returned the same buffer as Reset; previous state was clobbered")
+	}
+	prev := append([]float64(nil), s1...)
+	s2, _, _ := e.Step(ActionNone)
+	if &s2[0] != &s0[0] {
+		t.Fatal("Step did not ping-pong back to the first buffer")
+	}
+	for i := range prev {
+		if s1[i] != prev[i] {
+			t.Fatal("previous state mutated before the next step returned")
+		}
+	}
+}
+
+// TestEnvStepNoStateAllocs: after warmup, stepping must not allocate state
+// vectors (the pre-interning implementation leaked ~130 B per step into the
+// replay buffer's working set).
+func TestEnvStepNoStateAllocs(t *testing.T) {
+	var ts []errlog.Tick
+	for i := 0; i < 4096; i++ {
+		ts = append(ts, mkTick(1, time.Duration(i)*time.Minute, errlog.CE))
+	}
+	e := NewMitigationEnv(DefaultConfig(), [][]errlog.Tick{ts}, fixedSampler(5, 1e6))
+	e.Reset()
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, _, done := e.Step(ActionNone); done {
+			e.Reset()
+		}
+	})
+	// The timeline and tracker may allocate occasionally (job rollovers);
+	// per-step state vectors alone were ~2 allocations every step.
+	if allocs > 0.1 {
+		t.Fatalf("Step allocates %v times per call, want ~0", allocs)
+	}
+}
+
+// TestEnvFastRNGDeterministic: the FastRNG stream differs from the default
+// but is reproducible for the same seed.
+func TestEnvFastRNGDeterministic(t *testing.T) {
+	ticks := [][]errlog.Tick{
+		{mkTick(1, 0, errlog.CE), mkTick(1, time.Hour, errlog.CE)},
+		{mkTick(2, 0, errlog.CE), mkTick(2, time.Hour, errlog.CE)},
+	}
+	cfg := DefaultConfig()
+	cfg.FastRNG = true
+	run := func() []float64 {
+		e := NewMitigationEnv(cfg, ticks, fixedSampler(5, 1000))
+		var out []float64
+		for ep := 0; ep < 5; ep++ {
+			e.Reset()
+			for {
+				s, r, done := e.Step(ActionMitigate)
+				out = append(out, r)
+				if done {
+					break
+				}
+				out = append(out, s[0])
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("FastRNG env not reproducible at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -27,6 +27,7 @@ type Timeline struct {
 
 	job      jobs.Job
 	jobStart time.Time
+	jobEnd   time.Time
 	// baseline is the time from which lost wallclock accrues: the later of
 	// job start and (for restartable mitigation) the last mitigation.
 	baseline time.Time
@@ -44,17 +45,14 @@ func NewTimeline(sampler *jobs.Sampler, rng *mathx.RNG, restartable bool, start 
 func (tl *Timeline) startJob(at time.Time) {
 	tl.job = tl.sampler.Sample(tl.rng)
 	tl.jobStart = at
+	tl.jobEnd = at.Add(tl.job.Duration)
 	tl.baseline = at
 }
 
 // AdvanceTo rolls the job sequence forward so the current job covers t.
 func (tl *Timeline) AdvanceTo(t time.Time) {
-	for {
-		end := tl.jobStart.Add(tl.job.Duration)
-		if t.Before(end) {
-			return
-		}
-		tl.startJob(end)
+	for !t.Before(tl.jobEnd) {
+		tl.startJob(tl.jobEnd)
 	}
 }
 

@@ -1,13 +1,17 @@
 package evalx
 
 import (
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/env"
 	"repro/internal/errlog"
 	"repro/internal/jobs"
+	"repro/internal/nn"
+	"repro/internal/policies"
 	"repro/internal/rf"
+	"repro/internal/rl"
 )
 
 // Cache memoizes the evaluation artifacts that are invariant across figure
@@ -22,7 +26,11 @@ import (
 //     mitigation costs, which is why Figure 3's three cost points share one
 //     forest per split;
 //   - SC20-RF optimal thresholds, keyed additionally by the replay
-//     environment and window (they do depend on the mitigation cost).
+//     environment and window (they do depend on the mitigation cost);
+//   - trained RL policy artifacts, keyed by everything the training
+//     trajectory depends on (log, trace, env config, seed, preset, split
+//     geometry, kernel version) — Figure 3's cost sweep, Figure 4 and
+//     Table 2 previously retrained byte-identical agents per figure.
 //
 // Logs and traces handed to a cached run must not be mutated afterwards;
 // keys are pointer identities. Every artifact is a deterministic function
@@ -41,6 +49,7 @@ type Cache struct {
 	datasets   map[datasetKey]RFDataset
 	forests    map[forestKey]*forestArtifact
 	thresholds map[thresholdKey]*thresholdArtifact
+	rls        map[rlKey]*rlArtifact
 }
 
 // NewCache returns an empty artifact cache.
@@ -51,6 +60,7 @@ func NewCache() *Cache {
 		datasets:   map[datasetKey]RFDataset{},
 		forests:    map[forestKey]*forestArtifact{},
 		thresholds: map[thresholdKey]*thresholdArtifact{},
+		rls:        map[rlKey]*rlArtifact{},
 	}
 }
 
@@ -64,6 +74,66 @@ type TickArtifacts struct {
 	// UETimes is the flat, sorted index of every UE event time in ByNode,
 	// backing the O(log n) window queries the split loops perform.
 	UETimes []time.Time
+	// oraclePts holds, sorted by UE time, the Oracle mitigation point of
+	// every reachable UE (see OraclePoints); window queries binary-search it
+	// instead of rescanning every tick of every node.
+	oraclePts []oraclePoint
+}
+
+// oraclePoint pairs a reachable UE's event time with the Oracle mitigation
+// decision that prevents it.
+type oraclePoint struct {
+	ueTime time.Time
+	key    policies.OracleKey
+}
+
+// OraclePoints returns the §4.2 Oracle mitigation set for UEs inside
+// [from, to) (zero times disable a bound), served from the precomputed
+// index. It returns exactly what the standalone OraclePoints computes over
+// the artifact's ByNode ticks.
+func (a *TickArtifacts) OraclePoints(from, to time.Time) map[policies.OracleKey]bool {
+	lo := 0
+	if !from.IsZero() {
+		lo = sort.Search(len(a.oraclePts), func(i int) bool {
+			return !a.oraclePts[i].ueTime.Before(from)
+		})
+	}
+	points := map[policies.OracleKey]bool{}
+	for _, p := range a.oraclePts[lo:] {
+		if !to.IsZero() && !p.ueTime.Before(to) {
+			break
+		}
+		points[p.key] = true
+	}
+	return points
+}
+
+// oracleIndex precomputes the window-independent part of OraclePoints: the
+// reachability conditions (mitigation overhead, prediction window) do not
+// depend on the query window, so each reachable UE's point is found once.
+func oracleIndex(byNode [][]errlog.Tick) []oraclePoint {
+	var out []oraclePoint
+	for _, ticks := range byNode {
+		lastDecision := time.Time{}
+		haveDecision := false
+		for _, tick := range ticks {
+			if tick.HasUE() {
+				ut := ueEventTime(tick)
+				gap := ut.Sub(lastDecision)
+				if haveDecision && gap >= OracleOverhead && gap <= PredictionWindow {
+					out = append(out, oraclePoint{
+						ueTime: ut,
+						key:    policies.OracleKey{Node: tick.Node, Time: lastDecision},
+					})
+				}
+				continue
+			}
+			lastDecision = tick.Time
+			haveDecision = true
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ueTime.Before(out[j].ueTime) })
+	return out
 }
 
 type datasetKey struct {
@@ -101,11 +171,67 @@ type thresholdArtifact struct {
 	costHours float64
 }
 
+// rlKey identifies one split's trained RL policy: every input the training
+// trajectory depends on. Worker counts and parallelism knobs are absent by
+// design — training is bit-deterministic across them — and so are the test
+// window bounds, which training never sees. The warm-start chain is covered
+// by (parts, split): split k's warm input is split k-1's artifact, itself a
+// deterministic function of the same key family.
+type rlKey struct {
+	log      *errlog.Log
+	sampler  *jobs.Sampler
+	env      env.Config
+	seed     int64
+	preset   Preset
+	episodes int
+	parts    int
+	split    int
+	trainTo  int64 // UnixNano
+	valFrom  int64
+	kernel   int
+}
+
+type rlArtifact struct {
+	net       *nn.Network
+	policy    rl.Policy
+	costHours float64
+}
+
+// rlPolicy returns the memoized trained policy for key, training via train
+// on first use. The returned network is the winning candidate's online net
+// (callers clone before mutating; the warm-start path only clones). Hits
+// replay the §4.3 wallclock recorded on the miss, so cold and warm runs
+// render identical training-cost rows.
+func (c *Cache) rlPolicy(key rlKey, train func() (rl.Policy, *nn.Network)) (rl.Policy, *nn.Network, float64) {
+	if c == nil {
+		start := time.Now() //uerl:nondet-ok §4.3 RL training cost is charged as measured wallclock; trained weights stay seed-deterministic
+		pol, net := train()
+		return pol, net, time.Since(start).Hours() //uerl:nondet-ok wallclock training-cost metadata, see above
+	}
+	c.mu.Lock()
+	art := c.rls[key]
+	c.mu.Unlock()
+	if art != nil {
+		return art.policy, art.net, art.costHours
+	}
+	start := time.Now() //uerl:nondet-ok §4.3 RL training cost is charged as measured wallclock; cached artifacts replay the first measurement so cached and cold runs render identically
+	pol, net := train()
+	cost := time.Since(start).Hours() //uerl:nondet-ok wallclock training-cost metadata, see above
+	c.mu.Lock()
+	c.rls[key] = &rlArtifact{net: net, policy: pol, costHours: cost}
+	c.mu.Unlock()
+	return pol, net, cost
+}
+
 // buildTickArtifacts runs the uncached pipeline.
 func buildTickArtifacts(log *errlog.Log) *TickArtifacts {
 	pre := errlog.Preprocess(log)
 	byNode := env.GroupTicks(errlog.Merge(pre, errlog.MergeWindow))
-	return &TickArtifacts{Pre: pre, ByNode: byNode, UETimes: ueTimeIndex(byNode)}
+	return &TickArtifacts{
+		Pre: pre, ByNode: byNode,
+		UETimes:   ueTimeIndex(byNode),
+		oraclePts: oracleIndex(byNode),
+	}
 }
 
 // Ticks returns the memoized tick pipeline for log, computing it on first

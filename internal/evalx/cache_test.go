@@ -1,0 +1,114 @@
+package evalx
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/nn"
+	"repro/internal/telemetry"
+)
+
+// TestRLArtifactCacheHit asserts the cross-figure RL memoizer's contract:
+// a cache hit returns the very artifact trained on the miss, and a
+// cache-backed run produces weights byte-identical to a cold (nil-cache)
+// run — so figures rendered warm and cold cannot diverge.
+func TestRLArtifactCacheHit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RL training integration test in short mode")
+	}
+	tcfg := telemetry.Default().Scale(0.02)
+	jcfg := jobs.Default()
+	jcfg.Count = 1000
+	log := telemetry.Generate(tcfg)
+	trace := jobs.Generate(jcfg)
+
+	cfg := DefaultCVConfig(PresetCI)
+	cfg.Parts = 2
+	cfg.RLEpisodes = 40 // enough to exercise training, cheap enough for CI
+
+	cold := cfg // Cache == nil: every call trains from scratch
+	sCold := TrainSingleSplit(log, trace, cold, 0.5)
+
+	warm := cfg
+	warm.Cache = NewCache()
+	s1 := TrainSingleSplit(log, trace, warm, 0.5)
+	s2 := TrainSingleSplit(log, trace, warm, 0.5)
+
+	// The second warm run must be a hit: the memoizer hands back the same
+	// network object, not a retrained copy.
+	if s2.Net == nil || s2.Net != s1.Net {
+		t.Fatalf("second cached run retrained: net %p vs %p", s2.Net, s1.Net)
+	}
+	if s2.Forest != s1.Forest {
+		t.Fatalf("second cached run retrained the forest: %p vs %p", s2.Forest, s1.Forest)
+	}
+	if s2.Threshold != s1.Threshold {
+		t.Fatalf("cached threshold %v != first run's %v", s2.Threshold, s1.Threshold)
+	}
+
+	// Cold and cache-backed training must serialize byte-identically.
+	coldJSON, err := json.Marshal(sCold.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmJSON, err := json.Marshal(s1.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Fatal("cold-trained and cache-backed networks are not byte-identical")
+	}
+
+	// The kernel version is part of the artifact key: asking the same cache
+	// for the reference stream must train a distinct artifact, never serve
+	// the fast-stream weights.
+	ref := cfg
+	ref.Cache = warm.Cache
+	ref.Kernel = nn.KernelReference
+	s3 := TrainSingleSplit(log, trace, ref, 0.5)
+	if s3.Net == s1.Net {
+		t.Fatal("reference-kernel request served the fast-kernel artifact")
+	}
+	// The forest does not depend on the kernel, so it must still hit.
+	if s3.Forest != s1.Forest {
+		t.Fatal("forest artifact missed on a kernel-only config change")
+	}
+}
+
+// TestOraclePointsIndexEquivalence asserts the precomputed oracle index
+// serves exactly what the standalone OraclePoints scan computes, for
+// unbounded, half-bounded and fully bounded query windows.
+func TestOraclePointsIndexEquivalence(t *testing.T) {
+	log := telemetry.Generate(telemetry.Default().Scale(0.04))
+	art := (*Cache)(nil).Ticks(log)
+	first, last := art.Pre.Span()
+	span := last.Sub(first)
+
+	windows := []struct {
+		name     string
+		from, to time.Time
+	}{
+		{"unbounded", time.Time{}, time.Time{}},
+		{"from-only", first.Add(span / 3), time.Time{}},
+		{"to-only", time.Time{}, first.Add(2 * span / 3)},
+		{"bounded", first.Add(span / 4), first.Add(3 * span / 4)},
+		{"empty", first.Add(span / 2), first.Add(span / 2)},
+	}
+	for _, w := range windows {
+		got := art.OraclePoints(w.from, w.to)
+		want := OraclePoints(art.ByNode, w.from, w.to)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s window: indexed oracle points (%d) differ from scan (%d)",
+				w.name, len(got), len(want))
+		}
+	}
+	// The fixture must actually contain reachable UEs, or the equivalence
+	// above is vacuous.
+	if len(art.OraclePoints(time.Time{}, time.Time{})) == 0 {
+		t.Fatal("fixture has no reachable UEs; oracle index untested")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/jobs"
 	"repro/internal/mathx"
+	"repro/internal/nn"
 	"repro/internal/parx"
 	"repro/internal/policies"
 	"repro/internal/rf"
@@ -59,11 +60,32 @@ type CVConfig struct {
 	// Selection is deterministic for every value.
 	TrainParallelism int
 	// Cache, when non-nil, memoizes the config-invariant artifacts (tick
-	// pipeline, per-split RF datasets and forests, optimal thresholds)
-	// across runs sharing a Cache — e.g. the full figure suite over one
-	// experiments.World. Results are identical with or without it.
+	// pipeline, per-split RF datasets and forests, optimal thresholds,
+	// trained RL policies) across runs sharing a Cache — e.g. the full
+	// figure suite over one experiments.World. Results are identical with
+	// or without it.
 	Cache *Cache
+	// Kernel pins the nn kernel/stream version RL training runs under. Zero
+	// selects nn.KernelFast (the FMA kernels, chunked data-parallel
+	// training, PCG env RNG); nn.KernelReference reproduces the training
+	// trajectories of pre-versioned seeds bit-exactly. Either stream is
+	// fully deterministic; they differ only in floating-point rounding.
+	Kernel int
 }
+
+// kernel resolves the configured kernel version.
+func (c CVConfig) kernel() int {
+	if c.Kernel == 0 {
+		return nn.KernelFast
+	}
+	return c.Kernel
+}
+
+// ResolvedKernel reports the kernel/stream version RL training actually
+// runs under: CVConfig.Kernel, with zero resolved to the nn.KernelFast
+// default. Callers use it to stamp trained artifacts (ModelHeader
+// training metadata) with the stream that produced them.
+func (c CVConfig) ResolvedKernel() int { return c.kernel() }
 
 // DefaultCVConfig returns the paper's protocol with the given preset.
 func DefaultCVConfig(p Preset) CVConfig {
@@ -232,7 +254,7 @@ func RunCV(log *errlog.Log, trace []jobs.Job, cfg CVConfig) CVResult {
 	world := cvWorld{log: log, art: art, sampler: sampler}
 
 	var cv CVResult
-	var warmStart *rl.Agent
+	var warmStart *nn.Network
 
 	for k := 0; k < cfg.Parts; k++ {
 		testFrom, testTo := bounds[k], bounds[k+1]
@@ -276,9 +298,11 @@ func RunCV(log *errlog.Log, trace []jobs.Job, cfg CVConfig) CVResult {
 // the held-out tail. It backs the Figure 6 behaviour study, the Table 2
 // cost-range rows, and the ablation benches.
 type SingleSplit struct {
-	// Agent is the trained RL agent (nil when IncludeRL is false).
-	Agent *rl.Agent
-	// Policy is the frozen greedy policy of Agent.
+	// Net is the trained RL online network (nil when IncludeRL is false).
+	// Callers clone it before mutating or serving; it may be shared with a
+	// cache (CVConfig.Cache) and with Policy.
+	Net *nn.Network
+	// Policy is the frozen greedy policy of Net.
 	Policy rl.Policy
 	// Forest is the SC20-RF model with its optimal Threshold.
 	Forest    *rf.Forest
@@ -328,11 +352,21 @@ func TrainSingleSplit(log *errlog.Log, trace []jobs.Job, cfg CVConfig, trainFrac
 	}
 
 	if cfg.IncludeRL {
-		var warm *rl.Agent
-		trainTicks := ticksUpTo(byNode, trainTo)
-		useValidation := hasUEIn(art.UETimes, spec.valFrom, spec.trainTo)
-		out.Policy = trainRL(cfg, trainTicks, sampler, spec, useValidation, &warm)
-		out.Agent = warm
+		// split = -1 keeps single-split artifacts from colliding with the
+		// cross-validation warm-start chain (whose split-k artifacts assume
+		// split k-1's warm input).
+		key := rlKey{
+			log: log, sampler: sampler, env: cfg.Env,
+			seed: cfg.Seed, preset: cfg.Preset, episodes: cfg.episodeBudget(),
+			parts: cfg.Parts, split: -1,
+			trainTo: spec.trainTo.UnixNano(), valFrom: spec.valFrom.UnixNano(),
+			kernel: cfg.kernel(),
+		}
+		out.Policy, out.Net, _ = cfg.Cache.rlPolicy(key, func() (rl.Policy, *nn.Network) {
+			trainTicks := ticksUpTo(byNode, trainTo)
+			useValidation := hasUEIn(art.UETimes, spec.valFrom, spec.trainTo)
+			return trainRL(cfg, trainTicks, sampler, spec, useValidation, nil)
+		})
 	}
 	return out
 }
@@ -356,7 +390,7 @@ type cvWorld struct {
 
 // evaluateSplit trains the models for one split and evaluates all policies
 // on its test window.
-func evaluateSplit(cfg CVConfig, world cvWorld, spec splitSpec, warm **rl.Agent) SplitResult {
+func evaluateSplit(cfg CVConfig, world cvWorld, spec splitSpec, warm **nn.Network) SplitResult {
 	byNode, sampler := world.art.ByNode, world.sampler
 	jobSeed := cfg.Seed + int64(spec.index)*101
 	replayCfg := ReplayConfig{Env: cfg.Env, JobSeed: jobSeed, From: spec.testFrom, To: spec.testTo}
@@ -397,11 +431,23 @@ func evaluateSplit(cfg CVConfig, world cvWorld, spec splitSpec, warm **rl.Agent)
 	var rlPolicy rl.Policy
 	rlCost := 0.0
 	if cfg.IncludeRL {
-		rlStart := time.Now() //uerl:nondet-ok §4.3 RL training cost is charged as measured wallclock; trained weights stay seed-deterministic
-		trainTicks := ticksUpTo(byNode, spec.trainTo)
-		useValidation := hasUEIn(world.art.UETimes, spec.valFrom, spec.trainTo)
-		rlPolicy = trainRL(cfg, trainTicks, sampler, spec, useValidation, warm)
-		rlCost = time.Since(rlStart).Hours() //uerl:nondet-ok wallclock training-cost metadata, see above
+		key := rlKey{
+			log: world.log, sampler: sampler, env: cfg.Env,
+			seed: cfg.Seed, preset: cfg.Preset, episodes: cfg.episodeBudget(),
+			parts: cfg.Parts, split: spec.index,
+			trainTo: spec.trainTo.UnixNano(), valFrom: spec.valFrom.UnixNano(),
+			kernel: cfg.kernel(),
+		}
+		warmIn := *warm
+		var rlNet *nn.Network
+		rlPolicy, rlNet, rlCost = cfg.Cache.rlPolicy(key, func() (rl.Policy, *nn.Network) {
+			trainTicks := ticksUpTo(byNode, spec.trainTo)
+			useValidation := hasUEIn(world.art.UETimes, spec.valFrom, spec.trainTo)
+			return trainRL(cfg, trainTicks, sampler, spec, useValidation, warmIn)
+		})
+		// On hits the warm chain advances to the cached winner, so a later
+		// cold split trains from exactly the net a fully cold run would see.
+		*warm = rlNet
 	}
 
 	// --- Assemble deciders.
@@ -421,7 +467,7 @@ func evaluateSplit(cfg CVConfig, world cvWorld, spec splitSpec, warm **rl.Agent)
 	if rlPolicy != nil {
 		ds2 = append(ds2, &policies.RL{Policy: rlPolicy})
 	}
-	ds2 = append(ds2, policies.NewOracle(OraclePoints(byNode, spec.testFrom, spec.testTo)))
+	ds2 = append(ds2, policies.NewOracle(world.art.OraclePoints(spec.testFrom, spec.testTo)))
 
 	results := ReplayAll(ds2, byNode, sampler, replayCfg)
 	for i := range results {
@@ -436,17 +482,25 @@ func evaluateSplit(cfg CVConfig, world cvWorld, spec splitSpec, warm **rl.Agent)
 }
 
 // trainRL runs the per-split hyperparameter search and returns the frozen
-// policy of the best candidate.
+// policy and online network of the best candidate.
 //
-// Candidates are independent given the incoming warm-start agent (which is
-// only read), so they train and score across a bounded worker pool. The
+// Candidates are independent given the incoming warm-start network (which is
+// only cloned), so they train and score across a bounded worker pool. The
 // winner is reduced deterministically — lowest validation cost, ties broken
 // by candidate index — which is exactly the serial loop's selection rule,
 // so the search returns the same model for any worker count.
-func trainRL(cfg CVConfig, trainTicks [][]errlog.Tick, sampler *jobs.Sampler, spec splitSpec, useValidation bool, warm **rl.Agent) rl.Policy {
+//
+// Under nn.KernelFast (the default, see CVConfig.Kernel) each candidate
+// trains data-parallel: rl.TrainVec steps DefaultEnvFanout environments
+// per round (each with its own pre-seeded PCG stream) and the chunked
+// trainer reduces minibatch gradients in chunk-index order, so results stay
+// bit-identical for every worker count. nn.KernelReference reproduces the
+// pre-versioned serial trajectories exactly.
+func trainRL(cfg CVConfig, trainTicks [][]errlog.Tick, sampler *jobs.Sampler, spec splitSpec, useValidation bool, warmStart *nn.Network) (rl.Policy, *nn.Network) {
 	if len(trainTicks) == 0 {
-		return rl.PolicyFunc(func([]float64) int { return env.ActionNone })
+		return rl.PolicyFunc(func([]float64) int { return env.ActionNone }), nil
 	}
+	kernel := cfg.kernel()
 	episodes := cfg.episodeBudget()
 	candidates := cfg.hyperCandidates(features.Dim, cfg.Seed+int64(spec.index)*7)
 
@@ -469,12 +523,13 @@ func trainRL(cfg CVConfig, trainTicks [][]errlog.Tick, sampler *jobs.Sampler, sp
 		bestCost float64
 		bestAg   *rl.Agent
 	)
-	warmStart := *warm
 	parx.For(len(candidates), cfg.TrainParallelism, func(ci int) {
 		ac := candidates[ci]
+		ac.Kernel = kernel
 		envCfg := cfg.Env
 		envCfg.Seed = cfg.Seed + int64(spec.index)*1000 + int64(ci)
 		envCfg.UENodeBoost = cfg.ueNodeBoost()
+		envCfg.FastRNG = kernel == nn.KernelFast
 		if cfg.Preset != PresetPaper {
 			envCfg.FocusUEWindow = 400
 			// A larger reward scale keeps the (tiny) mitigation penalty
@@ -482,17 +537,32 @@ func trainRL(cfg CVConfig, trainTicks [][]errlog.Tick, sampler *jobs.Sampler, sp
 			// training budgets.
 			envCfg.RewardScale = 0.05
 		}
-		trainEnv := env.NewMitigationEnv(envCfg, trainTicks, sampler)
 		agent := rl.NewAgent(ac, rl.NewPrioritizedReplay(rl.PERConfig{
 			Capacity: 1 << 15, Alpha: 0.6, Beta: 0.4, BetaSteps: episodes * 20,
+			FastPow: kernel == nn.KernelFast,
 		}))
 		// §4.1: subsequent splits train a mix of previously trained and
 		// untrained models. Warm-start alternate candidates (Clone only
-		// reads the shared warm agent).
+		// reads the shared warm network).
 		if warmStart != nil && ci%2 == 1 {
-			agent.SetOnline(warmStart.Online().Clone())
+			agent.SetOnline(warmStart.Clone())
 		}
-		rl.Train(agent, trainEnv, rl.TrainOptions{Episodes: episodes, MaxStepsPerEpisode: 4096})
+		opts := rl.TrainOptions{Episodes: episodes, MaxStepsPerEpisode: 4096}
+		if kernel == nn.KernelFast {
+			// Vectorized training: a fanout of environments share the agent,
+			// each replaying a different node/job stream from its own
+			// pre-seeded RNG. The large stride keeps slot seeds disjoint
+			// from the per-candidate seeds above.
+			envs := make([]rl.Environment, rl.DefaultEnvFanout)
+			for slot := range envs {
+				slotCfg := envCfg
+				slotCfg.Seed = envCfg.Seed + int64(slot)*1_000_003
+				envs[slot] = env.NewMitigationEnv(slotCfg, trainTicks, sampler)
+			}
+			rl.TrainVec(agent, envs, opts)
+		} else {
+			rl.Train(agent, env.NewMitigationEnv(envCfg, trainTicks, sampler), opts)
+		}
 
 		// Score the candidate. Scoring replays serially: the candidates
 		// themselves already occupy the worker pool.
@@ -510,6 +580,5 @@ func trainRL(cfg CVConfig, trainTicks [][]errlog.Tick, sampler *jobs.Sampler, sp
 		bestMu.Unlock()
 	})
 
-	*warm = bestAg
-	return bestAg.SnapshotPolicy()
+	return bestAg.SnapshotPolicy(), bestAg.Online()
 }

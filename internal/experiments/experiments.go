@@ -67,9 +67,10 @@ type World struct {
 	TCfg  telemetry.Config
 	JCfg  jobs.Config
 
-	cache  *evalx.Cache
-	partMu sync.Mutex
-	parts  map[errlog.Manufacturer]*errlog.Log
+	cache      *evalx.Cache
+	partMu     sync.Mutex
+	parts      map[errlog.Manufacturer]*errlog.Log
+	partCaches map[errlog.Manufacturer]*evalx.Cache
 }
 
 // BuildWorld generates the synthetic world for a scale.
@@ -85,13 +86,14 @@ func BuildWorld(s Scale) *World {
 	jcfg.Count = s.JobCount
 	jcfg.Seed = s.Seed + 1
 	return &World{
-		Scale: s,
-		Log:   telemetry.Generate(tcfg),
-		Trace: jobs.Generate(jcfg),
-		TCfg:  tcfg,
-		JCfg:  jcfg,
-		cache: evalx.NewCache(),
-		parts: map[errlog.Manufacturer]*errlog.Log{},
+		Scale:      s,
+		Log:        telemetry.Generate(tcfg),
+		Trace:      jobs.Generate(jcfg),
+		TCfg:       tcfg,
+		JCfg:       jcfg,
+		cache:      evalx.NewCache(),
+		parts:      map[errlog.Manufacturer]*errlog.Log{},
+		partCaches: map[errlog.Manufacturer]*evalx.Cache{},
 	}
 }
 
@@ -102,6 +104,19 @@ func (w *World) Cache() *evalx.Cache { return w.cache }
 // figure run recomputes its pipeline and models from scratch (the legacy
 // behaviour). Used by the cold-vs-cached equivalence tests.
 func (w *World) DisableCache() { w.cache = nil }
+
+// ResetCache drops every memoized artifact (including the per-partition
+// caches and partition logs), re-enabling memoization on fresh caches.
+// The figure benchmarks call it between iterations so each reported run
+// is a cold regeneration rather than a replay of the previous
+// iteration's artifacts.
+func (w *World) ResetCache() {
+	w.partMu.Lock()
+	defer w.partMu.Unlock()
+	w.cache = evalx.NewCache()
+	w.parts = map[errlog.Manufacturer]*errlog.Log{}
+	w.partCaches = map[errlog.Manufacturer]*evalx.Cache{}
+}
 
 // Partition returns the per-manufacturer sub-log, memoized so repeated
 // Figure 5 runs (and their downstream tick/forest artifacts, keyed by log
@@ -118,6 +133,25 @@ func (w *World) Partition(m errlog.Manufacturer) *errlog.Log {
 	part := w.Log.PartitionManufacturer(m)
 	w.parts[m] = part
 	return part
+}
+
+// PartitionCache returns manufacturer m's artifact cache, created on first
+// use. Each Figure 5 partition gets its own cache so the fan-out workers
+// share nothing but the world; results are keyed by the partition log, so
+// repeated Figure 5 runs over one world still reuse every artifact. Nil
+// when caching is disabled.
+func (w *World) PartitionCache(m errlog.Manufacturer) *evalx.Cache {
+	if w.cache == nil {
+		return nil
+	}
+	w.partMu.Lock()
+	defer w.partMu.Unlock()
+	c, ok := w.partCaches[m]
+	if !ok {
+		c = evalx.NewCache()
+		w.partCaches[m] = c
+	}
+	return c
 }
 
 // cvConfig builds the evaluation config for this world.

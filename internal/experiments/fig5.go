@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/errlog"
 	"repro/internal/evalx"
+	"repro/internal/parx"
 )
 
 // Fig5Result reproduces Figure 5: total cost per DRAM manufacturer
@@ -17,7 +18,10 @@ type Fig5Result struct {
 	Runs   []evalx.CVResult // parallel to Labels; MN/ABC holds summed totals
 }
 
-// RunFig5 regenerates Figure 5.
+// RunFig5 regenerates Figure 5. The per-manufacturer runs are independent
+// — separate logs, separate artifact caches — so they fan out across
+// workers and merge by manufacturer index, which keeps the figure
+// deterministic for any worker count.
 func RunFig5(w *World) Fig5Result {
 	res := Fig5Result{}
 	cfg := w.cvConfig(2)
@@ -26,10 +30,17 @@ func RunFig5(w *World) Fig5Result {
 	res.Labels = append(res.Labels, "MN/All")
 	res.Runs = append(res.Runs, all)
 
+	runs := make([]evalx.CVResult, errlog.NumManufacturers)
+	parx.For(int(errlog.NumManufacturers), 0, func(i int) {
+		m := errlog.Manufacturer(i)
+		pcfg := cfg
+		pcfg.Cache = w.PartitionCache(m)
+		runs[i] = evalx.RunCV(w.Partition(m), w.Trace, pcfg)
+	})
+
 	var abc evalx.CVResult
 	for m := errlog.Manufacturer(0); m < errlog.NumManufacturers; m++ {
-		part := w.Partition(m)
-		cv := evalx.RunCV(part, w.Trace, cfg)
+		cv := runs[m]
 		res.Labels = append(res.Labels, "MN/"+m.String())
 		res.Runs = append(res.Runs, cv)
 		if len(abc.Totals) == 0 {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/evalx"
 	"repro/internal/jobs"
+	"repro/internal/parx"
 )
 
 // Fig7Result reproduces Figure 7: the job-size sensitivity analysis. For
@@ -22,18 +23,24 @@ type Fig7Result struct {
 var DefaultFig7Factors = []float64{0.1, 0.3, 1, 3, 10}
 
 // RunFig7 regenerates Figure 7 over the given factors (nil selects the
-// paper's sweep).
+// paper's sweep). The factor runs fan out over the shared world cache —
+// the log (and therefore forests, which are trace-invariant) is the same
+// for every factor, while samplers, thresholds and RL artifacts key on the
+// per-factor trace — and merge by factor index, so the figure is
+// deterministic for any worker count.
 func RunFig7(w *World, factors []float64) Fig7Result {
 	if factors == nil {
 		factors = DefaultFig7Factors
 	}
 	res := Fig7Result{Factors: factors}
-	for _, f := range factors {
-		jcfg := w.JCfg.WithScale(f)
-		trace := jobs.Generate(jcfg)
-		cv := evalx.RunCV(w.Log, trace, w.cvConfig(2))
-		res.Runs = append(res.Runs, cv)
+	traces := make([][]jobs.Job, len(factors))
+	for i, f := range factors {
+		traces[i] = jobs.Generate(w.JCfg.WithScale(f))
 	}
+	res.Runs = make([]evalx.CVResult, len(factors))
+	parx.For(len(factors), 0, func(i int) {
+		res.Runs[i] = evalx.RunCV(w.Log, traces[i], w.cvConfig(2))
+	})
 	return res
 }
 

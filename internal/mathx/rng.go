@@ -21,6 +21,9 @@ import (
 // usable; construct with NewRNG.
 type RNG struct {
 	r *rand.Rand
+	// fast is non-nil when the RNG is backed by the O(copy)-forkable PCG
+	// source (NewFastRNG) instead of math/rand's default source.
+	fast *fastSource
 }
 
 // NewRNG returns an RNG seeded with seed. Two RNGs built from the same seed
@@ -32,8 +35,12 @@ func NewRNG(seed int64) *RNG {
 // Fork derives a new independent RNG from this one. Forked generators are
 // used to give each simulated component (node, DIMM, job stream) its own
 // stream so that changing the amount of randomness consumed by one component
-// does not perturb the others.
+// does not perturb the others. Children inherit the parent's source family:
+// a NewFastRNG parent forks fast children in O(copy).
 func (g *RNG) Fork() *RNG {
+	if g.fast != nil {
+		return g.forkFast()
+	}
 	return NewRNG(g.r.Int63())
 }
 

@@ -22,6 +22,10 @@ type BatchScratch struct {
 	dA           []float64 // advantage-head gradient [B*Outputs]
 	dV           []float64 // value-head gradient [B]
 	dBufA, dBufB []float64 // ping-pong gradient buffers [B*maxWidth]
+	// kernel selects the arithmetic stream (KernelReference or KernelFast);
+	// pacts holds KernelFast's zero-padded activations, stride pad4(width).
+	kernel int
+	pacts  [][]float64
 }
 
 // Batch reports the maximum batch size the scratch was sized for.
@@ -32,7 +36,7 @@ func (n *Network) NewBatchScratch(batch int) *BatchScratch {
 	if batch <= 0 {
 		panic(fmt.Sprintf("nn: batch size must be positive, got %d", batch))
 	}
-	s := &BatchScratch{batch: batch}
+	s := &BatchScratch{batch: batch, kernel: KernelReference}
 	s.acts = append(s.acts, make([]float64, batch*n.cfg.Inputs))
 	maxw := n.cfg.Inputs
 	for _, d := range n.hidden {
@@ -175,6 +179,9 @@ func (n *Network) ForwardBatchInto(s *BatchScratch, xs []float64, nb int) []floa
 	if len(xs) != nb*n.cfg.Inputs {
 		panic(fmt.Sprintf("nn: batched input size %d, want %d", len(xs), nb*n.cfg.Inputs))
 	}
+	if s.kernel == KernelFast {
+		return n.forwardBatchFast(s, xs, nb)
+	}
 	copy(s.acts[0][:nb*n.cfg.Inputs], xs)
 	cur := s.acts[0]
 	for i, d := range n.hidden {
@@ -214,6 +221,10 @@ func (n *Network) BackwardBatch(s *BatchScratch, dOut []float64, nb int) {
 	out := n.cfg.Outputs
 	if len(dOut) != nb*out {
 		panic(fmt.Sprintf("nn: batched dOut size %d, want %d", len(dOut), nb*out))
+	}
+	if s.kernel == KernelFast {
+		n.backwardBatchFast(s, dOut, nb)
+		return
 	}
 	nh := len(n.hidden)
 	width := n.cfg.Inputs

@@ -144,6 +144,16 @@ func axpy2(a float64, xa []float64, b float64, xb, y []float64) {
 	y = y[:len(xa)]
 	xb = xb[:len(xa)]
 	n4 := len(xa) &^ 3
+	if useAsm && n4 >= 8 {
+		// Bit-identical to the scalar loop below (element-wise, unfused
+		// multiply and add, same per-element order).
+		axpy2AVX(a, &xa[0], b, &xb[0], &y[0], n4)
+		for i := n4; i < len(xa); i++ {
+			y[i] += a * xa[i]
+			y[i] += b * xb[i]
+		}
+		return
+	}
 	for i := 0; i < n4; i += 4 {
 		y[i] += a * xa[i]
 		y[i] += b * xb[i]
@@ -167,6 +177,15 @@ func axpy2(a float64, xa []float64, b float64, xb, y []float64) {
 func axpy(alpha float64, x, y []float64) {
 	y = y[:len(x)] // one bounds check up front
 	n4 := len(x) &^ 3
+	if useAsm && n4 >= 8 {
+		// Bit-identical to the scalar loop below (element-wise, unfused
+		// multiply and add).
+		axpyAVX(alpha, &x[0], &y[0], n4)
+		for i := n4; i < len(x); i++ {
+			y[i] += alpha * x[i]
+		}
+		return
+	}
 	for i := 0; i < n4; i += 4 {
 		y[i] += alpha * x[i]
 		y[i+1] += alpha * x[i+1]
@@ -228,6 +247,15 @@ type Network struct {
 	// params caches the stable parameter order so the per-train-step
 	// Params calls (ZeroGrad, gradient clip, optimizer) allocate nothing.
 	params []*Param
+	// gen counts weight mutations; fast holds the KernelFast zero-padded
+	// weight image, rebuilt lazily whenever gen moves past the generation
+	// it was built at (see fast.go).
+	gen  uint64
+	fast *fastWeights
+	// shadowOf is non-nil on gradient shadows (GradShadow): shadows share
+	// the owner's weight slices and padded image but carry private
+	// gradient accumulators.
+	shadowOf *Network
 }
 
 // New builds a network from cfg, panicking on invalid configuration (the
@@ -237,7 +265,7 @@ func New(cfg Config) *Network {
 		panic(err)
 	}
 	rng := mathx.NewRNG(cfg.Seed)
-	n := &Network{cfg: cfg}
+	n := &Network{cfg: cfg, gen: 1}
 	prev := cfg.Inputs
 	for _, h := range cfg.Hidden {
 		n.hidden = append(n.hidden, newDense(prev, h, rng))
@@ -449,6 +477,7 @@ func (n *Network) CopyFrom(src *Network) {
 		}
 		copy(p.W, from[i].W)
 	}
+	n.InvalidateFast()
 }
 
 // SoftUpdate blends src into n: w <- (1-tau) w + tau src.w. tau=1 is a hard
@@ -464,6 +493,7 @@ func (n *Network) SoftUpdate(src *Network, tau float64) {
 			p.W[j] = (1-tau)*p.W[j] + tau*from[i].W[j]
 		}
 	}
+	n.InvalidateFast()
 }
 
 // snapshot is the JSON serialization form.

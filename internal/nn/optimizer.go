@@ -78,6 +78,12 @@ type Adam struct {
 	Beta1 float64 // default 0.9
 	Beta2 float64 // default 0.999
 	Eps   float64 // default 1e-8
+	// Recip selects the KernelFast update, which replaces the two
+	// per-element bias-correction divides with precomputed reciprocals:
+	// w -= LR*(m*rc1)/(sqrt(v*rc2)+eps), rc1 = 1/c1, rc2 = 1/c2. A
+	// different rounding stream than the classic update, so it only runs
+	// under a kernel-version pin.
+	Recip bool
 	t     int
 	m, v  [][]float64
 }
@@ -105,12 +111,44 @@ func (o *Adam) Step(params []*Param) {
 	o.t++
 	c1 := 1 - math.Pow(b1, float64(o.t))
 	c2 := 1 - math.Pow(b2, float64(o.t))
+	if o.Recip {
+		rc1, rc2 := 1/c1, 1/c2
+		for pi, p := range params {
+			w := p.W
+			gs := p.G[:len(w)]
+			m := o.m[pi][:len(w)]
+			v := o.v[pi][:len(w)]
+			i := 0
+			if useAsm && len(w) >= 8 {
+				n4 := len(w) &^ 3
+				adamRecipAVX(&w[0], &gs[0], &m[0], &v[0], n4,
+					o.LR, b1, 1-b1, b2, 1-b2, eps, rc1, rc2)
+				i = n4
+			}
+			for ; i < len(w); i++ {
+				g := gs[i]
+				m[i] = b1*m[i] + (1-b1)*g
+				v[i] = b2*v[i] + (1-b2)*g*g
+				w[i] -= o.LR * (m[i] * rc1) / (math.Sqrt(v[i]*rc2) + eps)
+			}
+		}
+		return
+	}
 	for pi, p := range params {
 		w := p.W
 		gs := p.G[:len(w)]
 		m := o.m[pi][:len(w)]
 		v := o.v[pi][:len(w)]
-		for i := range w {
+		i := 0
+		if useAsm && len(w) >= 8 {
+			// Bit-identical to the scalar loop: all operations are
+			// element-wise and applied in the same order per element.
+			n4 := len(w) &^ 3
+			adamAVX(&w[0], &gs[0], &m[0], &v[0], n4,
+				o.LR, b1, 1-b1, b2, 1-b2, eps, c1, c2)
+			i = n4
+		}
+		for ; i < len(w); i++ {
 			g := gs[i]
 			m[i] = b1*m[i] + (1-b1)*g
 			v[i] = b2*v[i] + (1-b2)*g*g

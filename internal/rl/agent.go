@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mathx"
 	"repro/internal/nn"
+	"repro/internal/parx"
 )
 
 // Environment is the MDP the agent interacts with (§3.2). An environment is
@@ -86,6 +87,18 @@ type AgentConfig struct {
 	GradClip float64
 	// Seed drives weight init and exploration.
 	Seed int64
+	// Kernel selects the arithmetic stream version (nn.KernelReference or
+	// nn.KernelFast). Zero means nn.KernelReference, preserving the exact
+	// training trajectories of existing seeds. nn.KernelFast enables the
+	// FMA kernels, reciprocal Adam, the PCG exploration RNG, and chunked
+	// data-parallel training with in-order gradient reduction — a different
+	// (but equally deterministic) rounding stream, bit-identical for every
+	// TrainWorkers setting and GOMAXPROCS.
+	Kernel int
+	// TrainWorkers bounds the workers that compute minibatch chunk
+	// gradients under nn.KernelFast; 0 means GOMAXPROCS. It never affects
+	// results, only wall time.
+	TrainWorkers int
 }
 
 // Validate reports configuration errors.
@@ -105,6 +118,9 @@ func (c AgentConfig) Validate() error {
 	if c.LearningRate <= 0 {
 		return fmt.Errorf("rl: LearningRate must be positive, got %v", c.LearningRate)
 	}
+	if c.Kernel != 0 && !nn.ValidKernel(c.Kernel) {
+		return fmt.Errorf("rl: unknown kernel version %d", c.Kernel)
+	}
 	return nil
 }
 
@@ -121,6 +137,9 @@ func (c AgentConfig) withDefaults() AgentConfig {
 	}
 	if c.WarmupSteps < c.BatchSize {
 		c.WarmupSteps = c.BatchSize
+	}
+	if c.Kernel == 0 {
+		c.Kernel = nn.KernelReference
 	}
 	return c
 }
@@ -157,11 +176,33 @@ type Agent struct {
 	sampHandles []int
 	sampWs      []float64
 
+	// Chunked data-parallel training state (nn.KernelFast only): the
+	// minibatch splits into fixed trainChunkSize chunks; each chunk computes
+	// gradients into its own weight-sharing shadow network, and the shadows
+	// reduce into the online network in chunk-index order. Chunk geometry
+	// depends only on BatchSize — never on TrainWorkers or GOMAXPROCS — so
+	// trained weights are bit-identical for every worker count.
+	shadows     []*nn.Network
+	chunkScr    []*nn.BatchScratch
+	chunkTgtScr []*nn.BatchScratch
+	chunkXS     [][]float64
+	chunkDOut   [][]float64
+	chunkNext   [][]float64
+	chunkLoss   []float64
+	chunkN      int       // samples in the minibatch being chunked
+	chunkFn     func(int) // preallocated parx.For body (keeps train steps alloc-free)
+
 	// serialTrain forces the legacy one-transition-at-a-time training loop;
 	// it exists only so tests can verify the batched path reproduces the
 	// serial gradients exactly.
 	serialTrain bool
 }
+
+// trainChunkSize is the fixed minibatch chunk width of the nn.KernelFast
+// data-parallel trainer. It is a constant of the stream definition: changing
+// it changes the gradient-reduction association and therefore the trained
+// weights, so it must only move together with a kernel version bump.
+const trainChunkSize = 8
 
 // NewAgent builds an agent with the given replay buffer (pass
 // NewPrioritizedReplay for the paper's configuration, NewUniformReplay for
@@ -178,13 +219,20 @@ func NewAgent(cfg AgentConfig, replay Replay) *Agent {
 		Dueling: cfg.Dueling,
 		Seed:    cfg.Seed,
 	})
+	rng := mathx.NewRNG(cfg.Seed + 1)
+	if cfg.Kernel == nn.KernelFast {
+		// The PCG source forks in O(copy); its stream (like the rest of the
+		// v2 arithmetic) differs from the reference but is just as
+		// deterministic.
+		rng = mathx.NewFastRNG(cfg.Seed + 1)
+	}
 	a := &Agent{
 		cfg:    cfg,
 		online: net,
 		target: net.Clone(),
-		opt:    &nn.Adam{LR: cfg.LearningRate},
+		opt:    &nn.Adam{LR: cfg.LearningRate, Recip: cfg.Kernel == nn.KernelFast},
 		replay: replay,
-		rng:    mathx.NewRNG(cfg.Seed + 1),
+		rng:    rng,
 	}
 	a.scr = a.online.NewScratch()
 	a.scrNext = a.online.NewScratch()
@@ -207,6 +255,26 @@ func (a *Agent) initBatchState() {
 	a.sampTrs = make([]Transition, b)
 	a.sampHandles = make([]int, b)
 	a.sampWs = make([]float64, b)
+	if a.cfg.Kernel == nn.KernelFast {
+		nchunks := (b + trainChunkSize - 1) / trainChunkSize
+		a.shadows = make([]*nn.Network, nchunks)
+		a.chunkScr = make([]*nn.BatchScratch, nchunks)
+		a.chunkTgtScr = make([]*nn.BatchScratch, nchunks)
+		a.chunkXS = make([][]float64, nchunks)
+		a.chunkDOut = make([][]float64, nchunks)
+		a.chunkNext = make([][]float64, nchunks)
+		a.chunkLoss = make([]float64, nchunks)
+		for c := range a.shadows {
+			sh := a.online.GradShadow()
+			a.shadows[c] = sh
+			a.chunkScr[c] = sh.NewBatchScratchKernel(2*trainChunkSize, nn.KernelFast)
+			a.chunkTgtScr[c] = a.target.NewBatchScratchKernel(trainChunkSize, nn.KernelFast)
+			a.chunkXS[c] = make([]float64, 2*trainChunkSize*a.cfg.StateLen)
+			a.chunkDOut[c] = make([]float64, trainChunkSize*a.cfg.NumActions)
+			a.chunkNext[c] = make([]float64, trainChunkSize)
+		}
+		a.chunkFn = func(c int) { a.trainChunk(c, a.chunkN) }
+	}
 }
 
 // Config returns the agent's configuration (with defaults applied).
@@ -226,7 +294,7 @@ func (a *Agent) SetOnline(net *nn.Network) {
 	}
 	a.online = net
 	a.target = net.Clone()
-	a.opt = &nn.Adam{LR: a.cfg.LearningRate}
+	a.opt = &nn.Adam{LR: a.cfg.LearningRate, Recip: a.cfg.Kernel == nn.KernelFast}
 	a.scr = a.online.NewScratch()
 	a.scrNext = a.online.NewScratch()
 	a.scrTgt = a.target.NewScratch()
@@ -315,6 +383,9 @@ func (a *Agent) SyncTarget() { a.target.CopyFrom(a.online) }
 func (a *Agent) trainBatch() float64 {
 	if a.serialTrain {
 		return a.trainBatchSerial()
+	}
+	if a.cfg.Kernel == nn.KernelFast {
+		return a.trainBatchChunked()
 	}
 	n := a.replay.SampleInto(a.rng, a.sampTrs, a.sampHandles, a.sampWs)
 	if n == 0 {
@@ -434,6 +505,116 @@ func (a *Agent) trainBatchSerial() float64 {
 	a.opt.Step(a.online.Params())
 	a.replay.UpdatePriorities(a.sampHandles[:n], a.tdErrs[:n])
 	return totalLoss / float64(n)
+}
+
+// trainBatchChunked is the nn.KernelFast training step: the sampled
+// minibatch splits into fixed trainChunkSize chunks, each chunk's gradients
+// are computed into its weight-sharing shadow network (by up to TrainWorkers
+// workers), and the shadows reduce into the online network in chunk-index
+// order. The in-order reduction fixes the floating-point association, so
+// trained weights are bit-identical for every worker count and GOMAXPROCS.
+// The chunked association differs from the sequential reference's, which is
+// one of the rounding changes the nn.KernelFast version pin covers.
+//
+//uerl:hotpath
+func (a *Agent) trainBatchChunked() float64 {
+	n := a.replay.SampleInto(a.rng, a.sampTrs, a.sampHandles, a.sampWs)
+	if n == 0 {
+		return 0
+	}
+	// Prewarm both packed-weight images serially; the parallel section below
+	// only reads them.
+	a.online.EnsureFast()
+	a.target.EnsureFast()
+	nchunks := (n + trainChunkSize - 1) / trainChunkSize
+	a.chunkN = n
+	parx.For(nchunks, a.cfg.TrainWorkers, a.chunkFn)
+	a.online.ZeroGrad()
+	for c := 0; c < nchunks; c++ {
+		nn.AccumulateGrads(a.online.Params(), a.shadows[c].Params())
+	}
+	nn.ClipGradNorm(a.online.Params(), a.cfg.GradClip)
+	a.opt.Step(a.online.Params())
+	a.online.InvalidateFast()
+	a.replay.UpdatePriorities(a.sampHandles[:n], a.tdErrs[:n])
+	totalLoss := 0.0
+	for c := 0; c < nchunks; c++ {
+		totalLoss += a.chunkLoss[c]
+	}
+	return totalLoss / float64(n)
+}
+
+// trainChunk computes the TD gradients of chunk c of an n-sample minibatch
+// into the chunk's shadow network. Every write is chunk-private (shadow
+// gradients, chunk scratches, tdErrs[lo:hi], chunkLoss[c]); the online and
+// target packed weights are read-only here.
+func (a *Agent) trainChunk(c, n int) {
+	lo := c * trainChunkSize
+	hi := lo + trainChunkSize
+	if hi > n {
+		hi = n
+	}
+	m := hi - lo
+	L, A := a.cfg.StateLen, a.cfg.NumActions
+	shadow := a.shadows[c]
+	xs := a.chunkXS[c]
+	trs := a.sampTrs[lo:hi]
+	anyLive := false
+	for i := range trs {
+		copy(xs[i*L:(i+1)*L], trs[i].S)
+		if !trs[i].Done {
+			copy(xs[(m+i)*L:(m+i+1)*L], trs[i].NextS)
+			anyLive = true
+		}
+	}
+	shadow.ZeroGrad()
+	nextVal := a.chunkNext[c]
+	var q []float64
+	switch {
+	case anyLive && a.cfg.DoubleDQN:
+		qTgt := a.target.ForwardBatchInto(a.chunkTgtScr[c], xs[m*L:2*m*L], m)
+		qBoth := shadow.ForwardBatchInto(a.chunkScr[c], xs[:2*m*L], 2*m)
+		q = qBoth[:m*A]
+		qNext := qBoth[m*A : 2*m*A]
+		for i := range trs {
+			if trs[i].Done {
+				continue
+			}
+			best := mathx.ArgMax(qNext[i*A : (i+1)*A])
+			nextVal[i] = qTgt[i*A+best]
+		}
+	case anyLive:
+		qTgt := a.target.ForwardBatchInto(a.chunkTgtScr[c], xs[m*L:2*m*L], m)
+		q = shadow.ForwardBatchInto(a.chunkScr[c], xs[:m*L], m)
+		for i := range trs {
+			if trs[i].Done {
+				continue
+			}
+			row := qTgt[i*A : (i+1)*A]
+			nextVal[i] = row[mathx.ArgMax(row)]
+		}
+	default:
+		q = shadow.ForwardBatchInto(a.chunkScr[c], xs[:m*L], m)
+	}
+	dOut := a.chunkDOut[c][:m*A]
+	for i := range dOut {
+		dOut[i] = 0
+	}
+	chunkLoss := 0.0
+	for i := range trs {
+		target := trs[i].R
+		if !trs[i].Done {
+			target += a.cfg.Gamma * nextVal[i]
+		}
+		pred := q[i*A+trs[i].A]
+		loss, dPred := nn.HuberLoss(pred, target, a.cfg.HuberDelta)
+		a.tdErrs[lo+i] = pred - target
+		w := a.sampWs[lo+i] / float64(n)
+		chunkLoss += loss * a.sampWs[lo+i]
+		dOut[i*A+trs[i].A] = dPred * w
+	}
+	shadow.BackwardBatch(a.chunkScr[c], dOut, m)
+	a.chunkLoss[c] = chunkLoss
 }
 
 // GreedyPolicy returns the deterministic policy induced by the current

@@ -1,0 +1,135 @@
+package rl
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/nn"
+)
+
+// fastConfig is batchParityConfig under the nn.KernelFast stream.
+func fastConfig() AgentConfig {
+	cfg := batchParityConfig()
+	cfg.Kernel = nn.KernelFast
+	return cfg
+}
+
+// marshalWeights serializes the agent's online network for byte comparison.
+func marshalWeights(t *testing.T, a *Agent) []byte {
+	t.Helper()
+	b, err := json.Marshal(a.Online())
+	if err != nil {
+		t.Fatalf("marshal online net: %v", err)
+	}
+	return b
+}
+
+// workerCounts is the TrainWorkers sweep the determinism contract covers.
+func workerCounts() []int {
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+// TestChunkedTrainingBitIdenticalAcrossWorkers is the tentpole contract:
+// under nn.KernelFast, the trained weights must be byte-identical for every
+// TrainWorkers setting, because the minibatch chunk geometry is fixed and
+// the chunk gradients reduce in chunk-index order. Run with -race this also
+// proves the parallel chunk section is data-race-free.
+func TestChunkedTrainingBitIdenticalAcrossWorkers(t *testing.T) {
+	var want []byte
+	for _, workers := range workerCounts() {
+		cfg := fastConfig()
+		cfg.TrainWorkers = workers
+		agent := NewAgent(cfg, NewPrioritizedReplay(PERConfig{
+			Capacity: 1 << 10, Alpha: 0.6, Beta: 0.4, BetaSteps: 1000, FastPow: true,
+		}))
+		env := &walkEnv{rng: mathx.NewRNG(9)}
+		Train(agent, env, TrainOptions{Episodes: 40, MaxStepsPerEpisode: 64})
+		got := marshalWeights(t, agent)
+		if want == nil {
+			want = got
+			continue
+		}
+		if string(got) != string(want) {
+			t.Fatalf("TrainWorkers=%d produced different weights than TrainWorkers=1", workers)
+		}
+	}
+}
+
+// TestTrainVecBitIdenticalAcrossWorkers: the vectorized trainer's parallel
+// environment stepping must not leak scheduling into results — weights,
+// episode rewards and step counts are identical for every worker count.
+func TestTrainVecBitIdenticalAcrossWorkers(t *testing.T) {
+	run := func(workers int) ([]byte, TrainResult, *Agent) {
+		cfg := fastConfig()
+		cfg.TrainWorkers = workers
+		agent := NewAgent(cfg, NewPrioritizedReplay(PERConfig{
+			Capacity: 1 << 10, Alpha: 0.6, Beta: 0.4, BetaSteps: 1000, FastPow: true,
+		}))
+		envs := make([]Environment, DefaultEnvFanout)
+		for i := range envs {
+			envs[i] = &walkEnv{rng: mathx.NewRNG(100 + int64(i))}
+		}
+		res := TrainVec(agent, envs, TrainOptions{Episodes: 40, MaxStepsPerEpisode: 64})
+		return marshalWeights(t, agent), res, agent
+	}
+	wantW, wantRes, _ := run(1)
+	if wantRes.Episodes != 40 {
+		t.Fatalf("TrainVec ran %d episodes, want 40", wantRes.Episodes)
+	}
+	if len(wantRes.EpisodeRewards) != 40 {
+		t.Fatalf("EpisodeRewards has %d entries, want 40", len(wantRes.EpisodeRewards))
+	}
+	for _, workers := range workerCounts()[1:] {
+		gotW, gotRes, _ := run(workers)
+		if string(gotW) != string(wantW) {
+			t.Fatalf("TrainVec workers=%d produced different weights than workers=1", workers)
+		}
+		if gotRes.Steps != wantRes.Steps || gotRes.TotalReward != wantRes.TotalReward {
+			t.Fatalf("TrainVec workers=%d result diverged: steps %d vs %d, reward %v vs %v",
+				workers, gotRes.Steps, wantRes.Steps, gotRes.TotalReward, wantRes.TotalReward)
+		}
+		for i := range gotRes.EpisodeRewards {
+			if gotRes.EpisodeRewards[i] != wantRes.EpisodeRewards[i] {
+				t.Fatalf("TrainVec workers=%d episode %d reward diverged", workers, i)
+			}
+		}
+	}
+}
+
+// TestChunkedTrainLearns: sanity that the v2 stream still solves the walk
+// MDP (the determinism tests alone would pass for a broken learner).
+func TestChunkedTrainLearns(t *testing.T) {
+	cfg := fastConfig()
+	agent := NewAgent(cfg, NewPrioritizedReplay(PERConfig{Capacity: 1 << 10, FastPow: true}))
+	env := &walkEnv{rng: mathx.NewRNG(5)}
+	Train(agent, env, TrainOptions{Episodes: 150, MaxStepsPerEpisode: 64})
+	// A trained agent should walk right from the start state.
+	state := []float64{0, 0, 1, 0, 0}
+	if got := agent.Greedy(state); got != 1 {
+		t.Fatalf("greedy action from start = %d, want 1 (right)", got)
+	}
+}
+
+// TestChunkedTrainStepZeroAlloc: the chunked train step must stay
+// allocation-free in steady state when it runs inline (TrainWorkers=1);
+// with more workers only parx's goroutine machinery allocates.
+func TestChunkedTrainStepZeroAlloc(t *testing.T) {
+	cfg := fastConfig()
+	cfg.TrainWorkers = 1
+	agent := NewAgent(cfg, NewPrioritizedReplay(PERConfig{Capacity: 1 << 10, FastPow: true}))
+	env := &walkEnv{rng: mathx.NewRNG(3)}
+	Train(agent, env, TrainOptions{Episodes: 30, MaxStepsPerEpisode: 64})
+
+	allocs := testing.AllocsPerRun(50, func() {
+		agent.trainBatch()
+	})
+	if allocs != 0 {
+		t.Fatalf("chunked train step allocates %v times per run, want 0", allocs)
+	}
+}

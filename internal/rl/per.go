@@ -22,6 +22,11 @@ type PERConfig struct {
 	BetaSteps int
 	// Eps is added to priorities so no transition starves. Default 1e-3.
 	Eps float64
+	// FastPow replaces the two math.Pow calls on the sampling hot path
+	// (importance weights, priority shaping) with exp(p*log(x)). The
+	// results differ from math.Pow by a couple of ULPs, so this is part of
+	// the nn.KernelFast stream definition and off by default.
+	FastPow bool
 }
 
 // PrioritizedReplay implements proportional prioritized experience replay
@@ -34,6 +39,7 @@ type PrioritizedReplay struct {
 	cfg     PERConfig
 	tree    *sumTree
 	buf     []Transition
+	store   stateStore
 	next    int
 	size    int
 	maxPrio float64
@@ -63,8 +69,12 @@ func NewPrioritizedReplay(cfg PERConfig) *PrioritizedReplay {
 }
 
 // Add implements Replay. New transitions receive the current maximum
-// priority.
+// priority. State vectors are copied into buffer-owned memory, so the
+// caller keeps ownership of its slices.
+//
+//uerl:hotpath
 func (p *PrioritizedReplay) Add(tr Transition) {
+	p.store.intern(p.next, &tr, p.cfg.Capacity)
 	p.buf[p.next] = tr
 	p.tree.set(p.next, p.maxPrio)
 	p.next = (p.next + 1) % p.cfg.Capacity
@@ -139,7 +149,12 @@ func (p *PrioritizedReplay) SampleInto(rng *mathx.RNG, trs []Transition, handles
 		if prob <= 0 {
 			prob = 1e-12
 		}
-		w := math.Pow(float64(p.size)*prob, -beta)
+		var w float64
+		if p.cfg.FastPow {
+			w = mathx.FastPow(float64(p.size)*prob, -beta)
+		} else {
+			w = math.Pow(float64(p.size)*prob, -beta)
+		}
 		trs[i], handles[i], ws[i] = p.buf[h], h, w
 		if w > maxW {
 			maxW = w
@@ -160,7 +175,12 @@ func (p *PrioritizedReplay) UpdatePriorities(handles []int, priorities []float64
 		if h < 0 || h >= p.cfg.Capacity {
 			continue
 		}
-		prio := math.Pow(math.Abs(priorities[i])+p.cfg.Eps, p.cfg.Alpha)
+		var prio float64
+		if p.cfg.FastPow {
+			prio = mathx.FastPow(math.Abs(priorities[i])+p.cfg.Eps, p.cfg.Alpha)
+		} else {
+			prio = math.Pow(math.Abs(priorities[i])+p.cfg.Eps, p.cfg.Alpha)
+		}
 		p.tree.set(h, prio)
 		if prio > p.maxPrio {
 			p.maxPrio = prio

@@ -46,11 +46,47 @@ type Replay interface {
 	UpdatePriorities(handles []int, priorities []float64)
 }
 
+// stateStore interns transition state vectors into flat, slot-owned backing
+// arrays so stored transitions never alias caller buffers. Environments are
+// then free to reuse ping-pong state buffers across steps (the vectorized
+// trainer's envs do), and Add allocates nothing in steady state. The state
+// dimension is learned from the first Add; vectors of any other length are
+// stored by reference as before.
+type stateStore struct {
+	s, next []float64
+	dim     int
+}
+
+func (st *stateStore) intern(slot int, tr *Transition, capacity int) {
+	if st.dim == 0 {
+		if len(tr.S) == 0 {
+			return
+		}
+		st.dim = len(tr.S)
+		st.s = make([]float64, capacity*st.dim)
+		st.next = make([]float64, capacity*st.dim)
+	}
+	d := st.dim
+	if len(tr.S) == d {
+		dst := st.s[slot*d : (slot+1)*d]
+		copy(dst, tr.S)
+		tr.S = dst
+	}
+	if len(tr.NextS) == d {
+		dst := st.next[slot*d : (slot+1)*d]
+		copy(dst, tr.NextS)
+		tr.NextS = dst
+	}
+}
+
 // UniformReplay is a fixed-capacity ring buffer with uniform sampling.
+// Stored transitions own their state memory (see stateStore), so callers
+// may reuse the slices they pass to Add.
 type UniformReplay struct {
-	buf  []Transition
-	next int
-	full bool
+	buf   []Transition
+	store stateStore
+	next  int
+	full  bool
 }
 
 // NewUniformReplay creates a buffer holding at most capacity transitions.
@@ -61,8 +97,12 @@ func NewUniformReplay(capacity int) *UniformReplay {
 	return &UniformReplay{buf: make([]Transition, capacity)}
 }
 
-// Add implements Replay.
+// Add implements Replay. The transition's state vectors are copied into
+// buffer-owned memory, so the caller keeps ownership of its slices.
+//
+//uerl:hotpath
 func (u *UniformReplay) Add(tr Transition) {
+	u.store.intern(u.next, &tr, len(u.buf))
 	u.buf[u.next] = tr
 	u.next++
 	if u.next == len(u.buf) {

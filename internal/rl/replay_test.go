@@ -167,3 +167,43 @@ func TestPERWrapAroundOverwrites(t *testing.T) {
 		}
 	}
 }
+
+// TestAddCopiesStateVectors: stored transitions must own their state memory
+// so environments can reuse ping-pong state buffers across steps.
+func TestAddCopiesStateVectors(t *testing.T) {
+	s := []float64{1, 2, 3}
+	next := []float64{4, 5, 6}
+	for name, r := range map[string]Replay{
+		"uniform": NewUniformReplay(4),
+		"per":     NewPrioritizedReplay(PERConfig{Capacity: 4}),
+	} {
+		r.Add(Transition{S: s, NextS: next, A: 1, R: 1})
+		s[0], next[0] = 99, 99
+		trs, _, _ := r.Sample(mathx.NewRNG(1), 1)
+		if trs[0].S[0] != 1 || trs[0].NextS[0] != 4 {
+			t.Fatalf("%s: stored transition aliases caller buffers: S[0]=%v NextS[0]=%v",
+				name, trs[0].S[0], trs[0].NextS[0])
+		}
+		s[0], next[0] = 1, 4
+	}
+}
+
+// TestAddZeroAllocSteadyState: after the first Add sizes the backing store,
+// adding transitions must not allocate — the env step loop calls Add once
+// per step (~130 B/step of garbage before state interning existed).
+func TestAddZeroAllocSteadyState(t *testing.T) {
+	s := []float64{1, 2, 3}
+	next := []float64{4, 5, 6}
+	for name, r := range map[string]Replay{
+		"uniform": NewUniformReplay(64),
+		"per":     NewPrioritizedReplay(PERConfig{Capacity: 64}),
+	} {
+		r.Add(Transition{S: s, NextS: next})
+		allocs := testing.AllocsPerRun(100, func() {
+			r.Add(Transition{S: s, NextS: next, A: 1, R: 0.5})
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: Add allocates %v times per call, want 0", name, allocs)
+		}
+	}
+}

@@ -1,5 +1,10 @@
 package rl
 
+import (
+	"repro/internal/mathx"
+	"repro/internal/parx"
+)
+
 // TrainResult summarizes a training run.
 type TrainResult struct {
 	Episodes     int
@@ -50,6 +55,153 @@ func Train(agent *Agent, env Environment, opts TrainOptions) TrainResult {
 		res.EpisodeRewards = append(res.EpisodeRewards, epReward)
 		if opts.OnEpisode != nil {
 			opts.OnEpisode(ep, epReward)
+		}
+	}
+	if res.Episodes > 0 {
+		res.MeanEpReward = res.TotalReward / float64(res.Episodes)
+	}
+	return res
+}
+
+// DefaultEnvFanout is the environment count TrainVec callers use unless they
+// have a reason to pick another: wide enough to amortize the batched greedy
+// forward, narrow enough that the off-policy lag (experience gathered under
+// weights up to one round old) stays negligible.
+const DefaultEnvFanout = 4
+
+// TrainVec trains the agent against several environments at once, one slot
+// per environment. Each round every active slot picks an ε-greedy action
+// (exploration from per-slot RNG streams pre-forked in slot order, greedy
+// actions from one batched forward pass), the environments step — in
+// parallel, since each env is slot-private — and the transitions are
+// observed serially in slot order. Every agent-visible sequence (replay
+// contents, training schedule, epsilon decay, RNG draws) therefore depends
+// only on slot order, never on how the environment steps were scheduled:
+// results are bit-identical for any worker count. Slots whose episode ends
+// start the next unstarted episode, so exactly opts.Episodes episodes run,
+// and EpisodeRewards is indexed by episode as in Train.
+//
+// The schedule interleaves slots, so trajectories differ from running Train
+// on one environment — callers choose TrainVec as a mode, not a drop-in
+// speedup. Environments must not share mutable state.
+func TrainVec(agent *Agent, envs []Environment, opts TrainOptions) TrainResult {
+	res := TrainResult{}
+	e := len(envs)
+	if e == 0 || opts.Episodes <= 0 {
+		return res
+	}
+	if e > opts.Episodes {
+		envs = envs[:opts.Episodes]
+		e = opts.Episodes
+	}
+	// Fork slot exploration streams up front, in slot order, so the draws a
+	// slot consumes are independent of how episodes interleave elsewhere.
+	slotRNG := make([]*mathx.RNG, e)
+	for s := range slotRNG {
+		slotRNG[s] = agent.rng.Fork()
+	}
+	numA := agent.cfg.NumActions
+	stateL := agent.cfg.StateLen
+	bs := agent.online.NewBatchScratchKernel(e, agent.cfg.Kernel)
+	xs := make([]float64, e*stateL)
+
+	state := make([][]float64, e)
+	stepCount := make([]int, e)
+	epReward := make([]float64, e)
+	episodeIdx := make([]int, e)
+	active := make([]bool, e)
+	actions := make([]int, e)
+	nextS := make([][]float64, e)
+	rewards := make([]float64, e)
+	dones := make([]bool, e)
+	activeSlots := make([]int, 0, e)
+	greedySlots := make([]int, 0, e)
+
+	res.EpisodeRewards = make([]float64, opts.Episodes)
+	started := 0
+	for s := 0; s < e; s++ {
+		state[s] = envs[s].Reset()
+		episodeIdx[s] = started
+		started++
+		active[s] = true
+	}
+	// finish closes slot s's episode and either starts the next unstarted
+	// episode on the same environment or retires the slot.
+	finish := func(s int) {
+		res.Episodes++
+		res.TotalReward += epReward[s]
+		res.EpisodeRewards[episodeIdx[s]] = epReward[s]
+		if opts.OnEpisode != nil {
+			opts.OnEpisode(episodeIdx[s], epReward[s])
+		}
+		if started < opts.Episodes {
+			state[s] = envs[s].Reset()
+			episodeIdx[s] = started
+			started++
+			stepCount[s] = 0
+			epReward[s] = 0
+		} else {
+			active[s] = false
+		}
+	}
+	for {
+		// Episodes that hit the step cap end without a terminal Observe,
+		// matching Train's break-before-act.
+		if opts.MaxStepsPerEpisode > 0 {
+			for s := 0; s < e; s++ {
+				if active[s] && stepCount[s] >= opts.MaxStepsPerEpisode {
+					finish(s)
+				}
+			}
+		}
+		activeSlots = activeSlots[:0]
+		for s := 0; s < e; s++ {
+			if active[s] {
+				activeSlots = append(activeSlots, s)
+			}
+		}
+		if len(activeSlots) == 0 {
+			break
+		}
+		// Action selection in slot order. Epsilon advances by the slot's
+		// rank this round, mirroring the step-by-step decay a serial
+		// interleaving of the same transitions would see.
+		greedySlots = greedySlots[:0]
+		for r, s := range activeSlots {
+			eps := agent.cfg.Epsilon.At(agent.steps + r)
+			if slotRNG[s].Float64() < eps {
+				actions[s] = slotRNG[s].Intn(numA)
+			} else {
+				greedySlots = append(greedySlots, s)
+			}
+		}
+		if len(greedySlots) > 0 {
+			for i, s := range greedySlots {
+				copy(xs[i*stateL:(i+1)*stateL], state[s])
+			}
+			q := agent.online.ForwardBatchInto(bs, xs[:len(greedySlots)*stateL], len(greedySlots))
+			for i, s := range greedySlots {
+				actions[s] = mathx.ArgMax(q[i*numA : (i+1)*numA])
+			}
+		}
+		// Environment stepping is the only parallel section; each env is
+		// slot-private and the results land in slot-indexed arrays.
+		parx.For(len(activeSlots), agent.cfg.TrainWorkers, func(i int) {
+			s := activeSlots[i]
+			nextS[s], rewards[s], dones[s] = envs[s].Step(actions[s])
+		})
+		// Observe serially in slot order: replay contents, train steps and
+		// target syncs follow a schedule independent of worker count.
+		for _, s := range activeSlots {
+			agent.Observe(Transition{S: state[s], A: actions[s], R: rewards[s], NextS: nextS[s], Done: dones[s]})
+			epReward[s] += rewards[s]
+			res.Steps++
+			stepCount[s]++
+			if dones[s] {
+				finish(s)
+			} else {
+				state[s] = nextS[s]
+			}
 		}
 	}
 	if res.Episodes > 0 {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/evalx"
 	"repro/internal/features"
 	"repro/internal/lifecycle"
+	"repro/internal/nn"
 	"repro/internal/rl"
 )
 
@@ -189,6 +190,8 @@ func NewOnlineLearner(ctl *Controller, opts ...LearnerOption) *OnlineLearner {
 				GradClip:     10,
 				HuberDelta:   1,
 				Seed:         cfg.seed,
+				Kernel:       cfg.kernel,
+				TrainWorkers: cfg.trainWorkers,
 			},
 			StreamCapacity: cfg.streamCapacity,
 			StepsPerEpoch:  cfg.epochSteps,
@@ -340,7 +343,11 @@ func (l *OnlineLearner) retrain(at time.Time) {
 		fail("replay below one batch; waiting for more experience")
 		return
 	}
-	cand, err := newRLPolicy(l.trainer.Network().Clone(), &TrainingInfo{Seed: l.cfg.seed})
+	kernel := l.cfg.kernel
+	if kernel == 0 {
+		kernel = nn.KernelReference
+	}
+	cand, err := newRLPolicy(l.trainer.Network().Clone(), &TrainingInfo{Seed: l.cfg.seed, KernelVersion: kernel})
 	if err != nil {
 		fail(err.Error())
 		return

@@ -27,6 +27,13 @@ type TrainingInfo struct {
 	MitigationCostNodeMinutes float64 `json:"mitigation_cost_node_minutes,omitempty"`
 	// Restartable records the §5 restartability assumption.
 	Restartable bool `json:"restartable,omitempty"`
+	// KernelVersion records the nn kernel/stream version the weights were
+	// trained under (nn.KernelReference or nn.KernelFast). The two streams
+	// differ only in floating-point rounding, but reproducing an artifact
+	// bit-for-bit requires retraining under the same version, so it is
+	// pinned in the artifact. Zero means the artifact predates kernel
+	// versioning (trained under the reference stream).
+	KernelVersion int `json:"kernel_version,omitempty"`
 }
 
 // ModelHeader is the self-describing header of every model artifact.
@@ -212,6 +219,10 @@ func LoadModel(r io.Reader) (Policy, error) {
 	if h.FeatureDim != features.Dim {
 		return nil, fmt.Errorf("uerl: model artifact was built for %d features, this build uses %d",
 			h.FeatureDim, features.Dim)
+	}
+	if h.Training != nil && h.Training.KernelVersion != 0 && !nn.ValidKernel(h.Training.KernelVersion) {
+		return nil, fmt.Errorf("uerl: model artifact was trained under unknown kernel version %d (this build knows %d..%d)",
+			h.Training.KernelVersion, nn.KernelReference, nn.KernelFast)
 	}
 	var p Policy
 	var err error

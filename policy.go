@@ -265,6 +265,7 @@ func (s *System) trainingInfo() *TrainingInfo {
 		Seed:                      s.cfg.Seed,
 		MitigationCostNodeMinutes: s.cfg.MitigationCostNodeMinutes,
 		Restartable:               s.cfg.Restartable,
+		KernelVersion:             s.cvConfig().ResolvedKernel(),
 	}
 }
 
@@ -287,10 +288,10 @@ func (s *System) TrainPolicy(kind PolicyKind) (Policy, error) {
 		return newMyopicPolicy(sp.Forest, sp.Env.MitigationCostNodeHours(), s.trainingInfo())
 	case PolicyRL:
 		sp := s.trainedSplit()
-		if sp.Agent == nil {
+		if sp.Net == nil {
 			return nil, fmt.Errorf("uerl: split trained without an RL agent")
 		}
-		return newRLPolicy(sp.Agent.Online().Clone(), s.trainingInfo())
+		return newRLPolicy(sp.Net.Clone(), s.trainingInfo())
 	case PolicyOracle:
 		rc := s.replayContext()
 		pts := evalx.OraclePoints(rc.byNode, time.Time{}, time.Time{})

@@ -46,7 +46,7 @@ if [ -z "${BENCH_OUT:-}" ]; then
   done
   BENCH_OUT="BENCH_$((max + 1)).json"
 fi
-FILTER="${FILTER:-BenchmarkNNForward$|BenchmarkNNForwardBatch$|BenchmarkNNTrainStep$|BenchmarkNNTrainStepBatched$|BenchmarkPERSample$|BenchmarkFeatureTracker$|BenchmarkReplayNever$|BenchmarkReplayNeverSerial$|BenchmarkControllerObserveEvent$|BenchmarkControllerObserveBatch$|BenchmarkControllerRecommendSerial$|BenchmarkControllerRecommendParallel$|BenchmarkFig3CostBenefit$}"
+FILTER="${FILTER:-BenchmarkNNForward$|BenchmarkNNForwardBatch$|BenchmarkNNTrainStep$|BenchmarkNNTrainStepBatched$|BenchmarkPERSample$|BenchmarkFeatureTracker$|BenchmarkReplayNever$|BenchmarkReplayNeverSerial$|BenchmarkControllerObserveEvent$|BenchmarkControllerObserveBatch$|BenchmarkControllerRecommendSerial$|BenchmarkControllerRecommendParallel$|BenchmarkDQNTrainEpochParallel$|BenchmarkFig3CostBenefit$}"
 
 txt="$(mktemp)"
 trap 'rm -f "$txt"' EXIT
@@ -55,13 +55,20 @@ go test -run '^$' -bench "$FILTER" -benchmem -benchtime "$BENCHTIME" -count "$CO
   ${CPUPROFILE:+-cpuprofile "$CPUPROFILE"} . | tee "$txt"
 
 # Convert "BenchmarkX-8  N  T ns/op  B B/op  A allocs/op [extra metrics]"
-# lines into a JSON summary (last run of each benchmark wins).
+# lines into a JSON summary. With COUNT>1 the fastest run of each
+# benchmark wins: the snapshot records the code's speed, not whichever
+# host-contention phase a single run happened to land in (allocs and
+# B/op ride along from the winning run — they barely vary).
 awk -v out="$BENCH_OUT" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
+    t = ""
+    for (i = 2; i < NF; i++)
+        if ($(i+1) == "ns/op") t = $i
+    if (t == "" || ((name in ns) && t + 0 >= ns[name] + 0)) next
+    ns[name] = t
     for (i = 2; i < NF; i++) {
-        if ($(i+1) == "ns/op")     ns[name] = $i
         if ($(i+1) == "B/op")      bytes[name] = $i
         if ($(i+1) == "allocs/op") allocs[name] = $i
         if ($(i+1) == "ns/sample") persample[name] = $i
