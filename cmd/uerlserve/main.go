@@ -18,10 +18,16 @@
 // With -guard the lifecycle runs behind the production guardrails:
 // budgets (-node-budget, -fleet-budget, -promotions-per-day), promotion
 // approval (-approve auto|deny), and post-promotion probation with
-// rollback-on-regression (-probation, -probation-tolerance). An
-// adversarial UE burst can be injected late in the run (-burst-day,
-// -burst-ues, -burst-nodes) to demonstrate a regressive promotion being
-// rolled back along its lineage chain.
+// rollback-on-regression (-probation, -probation-tolerance).
+//
+// With -scenario the run is driven by a declarative scenario spec (see
+// scenarios/ and internal/scenario): telemetry overlay, drift schedule,
+// fault-injection schedule, workload model, and lifecycle/guard
+// configuration all come from the JSON file, and the output is the
+// scenario survival summary. The legacy ad-hoc burst injector
+// (-burst-day, -burst-ues, -burst-nodes) is deprecated: when used it is
+// mapped onto a generated scenario spec and routed through the same
+// pipeline.
 //
 // The whole run is deterministic for a fixed flag set.
 package main
@@ -36,10 +42,11 @@ import (
 	"repro/internal/cliio"
 	"repro/internal/errlog"
 	"repro/internal/nn"
+	"repro/internal/scenario"
 	"repro/internal/telemetry"
 )
 
-type scenario struct {
+type legacyScenario struct {
 	Seed      int64   `json:"seed"`
 	Nodes     int     `json:"nodes"`
 	Days      float64 `json:"days"`
@@ -49,12 +56,10 @@ type scenario struct {
 	UEs       int     `json:"ues"`
 	Initial   string  `json:"initial_version"`
 	Guarded   bool    `json:"guarded,omitempty"`
-	BurstDay  float64 `json:"burst_day,omitempty"`
-	BurstUEs  int     `json:"burst_ues,omitempty"`
 }
 
 type jsonReport struct {
-	Scenario scenario              `json:"scenario"`
+	Scenario legacyScenario        `json:"scenario"`
 	Events   []uerl.LifecycleEvent `json:"lifecycle_events"`
 	Stats    uerl.LearnerStats     `json:"stats"`
 	// Lineage is the served model's version chain, newest first, ending
@@ -82,6 +87,7 @@ func main() {
 	trainWorkers := flag.Int("train-workers", 0, "workers computing minibatch chunk gradients under -kernel fast (0 = GOMAXPROCS; weights are bit-identical for every value)")
 	save := flag.String("save", "", "save the final serving model artifact to this path")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the text log")
+	scenarioFile := flag.String("scenario", "", "run a declarative scenario spec (JSON file) through the deterministic scenario harness; stream/drift/fault/workload/lifecycle flags are taken from the spec")
 
 	guarded := flag.Bool("guard", false, "run the lifecycle behind production guardrails")
 	nodeBudget := flag.Float64("node-budget", 0, "per-node checkpoint budget in node-hours per window (0 disables)")
@@ -97,28 +103,68 @@ func main() {
 	burstNodes := flag.Int("burst-nodes", 8, "nodes the burst strikes round-robin")
 	flag.Parse()
 
+	if *scenarioFile != "" || (*burstDay > 0 && *burstDay < *days) {
+		if *model != "" || *save != "" {
+			fatal(fmt.Errorf("-model and -save are not supported in scenario mode"))
+		}
+		if *kernel != "reference" {
+			fatal(fmt.Errorf("scenario runs use the reference kernel; drop -kernel %s", *kernel))
+		}
+		var spec scenario.Spec
+		if *scenarioFile != "" {
+			data, err := os.ReadFile(*scenarioFile)
+			if err != nil {
+				fatal(err)
+			}
+			if spec, err = scenario.Decode(data); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "uerlserve: the -burst-* injector is deprecated; mapping the flags onto a generated scenario spec (write one and pass -scenario instead)")
+			spec = burstShimSpec(shimFlags{
+				Seed: *seed, Nodes: *nodes, Days: *days,
+				DriftDay: *driftDay, DriftMult: *driftMult,
+				Policy: *policy, Cost: *cost, MitCost: *mitcost,
+				DriftThreshold: *driftThreshold, DriftWindow: *driftWindow,
+				RetrainMin: *retrainMin, EpochSteps: *epochSteps,
+				Shadow: *shadow, ShadowUEs: *shadowUEs,
+				BurstDay: *burstDay, BurstUEs: *burstUEs, BurstNodes: *burstNodes,
+				Guarded: *guarded, NodeBudget: *nodeBudget, NodeBudgetWindow: *nodeBudgetWindow,
+				FleetBudget: *fleetBudget, FleetBudgetWindow: *fleetBudgetWindow,
+				PromotionsPerDay: *promotionsPerDay, Approve: *approve,
+				Probation: *probation, ProbationTol: *probationTol,
+			})
+		}
+		sum, err := scenario.Run(spec)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			out, err := scenario.EncodeSummary(sum)
+			if err != nil {
+				fatal(err)
+			}
+			os.Stdout.Write(out)
+			return
+		}
+		printSummary(sum)
+		return
+	}
+
 	initial, err := initialPolicy(*policy, *model)
 	if err != nil {
 		fatal(err)
 	}
 
 	stream, ues := generateStream(*seed, *nodes, *days, *driftDay, *driftMult)
-	if *burstDay > 0 && *burstDay < *days && len(stream) > 0 {
-		burst := burstEvents(stream[0].Time, *burstDay, *burstUEs, *burstNodes, *nodes)
-		stream = mergeByTime(stream, burst)
-		ues += len(burst)
-	}
-	sc := scenario{
+	sc := legacyScenario{
 		Seed: *seed, Nodes: *nodes, Days: *days, DriftDay: *driftDay, DriftMult: *driftMult,
 		Events: len(stream), UEs: ues, Initial: initial.Version(),
-		Guarded: *guarded, BurstDay: *burstDay, BurstUEs: *burstUEs,
+		Guarded: *guarded,
 	}
 	if !*jsonOut {
 		fmt.Printf("scenario: %d nodes, %.0f days, %d events (%d UEs), fault shift ×%.0f at day %.0f\n",
 			sc.Nodes, sc.Days, sc.Events, sc.UEs, sc.DriftMult, sc.DriftDay)
-		if *burstDay > 0 {
-			fmt.Printf("adversarial burst: %d UEs across %d nodes at day %.0f\n", *burstUEs, *burstNodes, *burstDay)
-		}
 		fmt.Printf("serving %s (%s)\n", initial.Name(), initial.Version())
 	}
 
@@ -294,38 +340,128 @@ func generateStream(seed int64, nodes int, days, driftDay, driftMult float64) ([
 	return out, ues
 }
 
-// burstEvents synthesizes a deterministic adversarial UE burst striking
-// round-robin across the first burstNodes of the fleet at the given day.
-func burstEvents(start time.Time, day float64, count, burstNodes, fleetNodes int) []uerl.Event {
-	if burstNodes <= 0 || burstNodes > fleetNodes {
-		burstNodes = fleetNodes
-	}
-	at := start.Add(time.Duration(day * 24 * float64(time.Hour)))
-	out := make([]uerl.Event, 0, count)
-	for i := 0; i < count; i++ {
-		out = append(out, uerl.Event{
-			Time: at.Add(time.Duration(i) * 15 * time.Second),
-			Node: i % burstNodes, Type: uerl.UncorrectedError, Count: 1,
-		})
-	}
-	return out
+// shimFlags carries the deprecated flag set into burstShimSpec.
+type shimFlags struct {
+	Seed                      int64
+	Nodes                     int
+	Days, DriftDay, DriftMult float64
+	Policy                    string
+	Cost, MitCost             float64
+	DriftThreshold            float64
+	DriftWindow               int
+	RetrainMin, EpochSteps    int
+	Shadow, ShadowUEs         int
+	BurstDay                  float64
+	BurstUEs, BurstNodes      int
+	Guarded                   bool
+	NodeBudget                float64
+	NodeBudgetWindow          time.Duration
+	FleetBudget               int
+	FleetBudgetWindow         time.Duration
+	PromotionsPerDay          int
+	Approve                   string
+	Probation                 int
+	ProbationTol              float64
 }
 
-// mergeByTime merges two time-ordered event slices into one.
-func mergeByTime(a, b []uerl.Event) []uerl.Event {
-	out := make([]uerl.Event, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		if !b[j].Time.Before(a[i].Time) {
-			out = append(out, a[i])
-			i++
-		} else {
-			out = append(out, b[j])
-			j++
+// burstShimSpec maps the deprecated -burst-* flag set onto an
+// equivalent declarative scenario spec: the two-phase drifting stream
+// becomes a drift phase with the same CE-rate/burst/faulty-fraction
+// overlay, and the ad-hoc UE burst becomes a single 15s-spaced burst
+// train round-robin over the first -burst-nodes nodes.
+func burstShimSpec(f shimFlags) scenario.Spec {
+	shadowUEs := f.ShadowUEs
+	spec := scenario.Spec{
+		Name:         "uerlserve-burst-shim",
+		Description:  "generated from the deprecated uerlserve -burst-* flags",
+		Seed:         f.Seed,
+		DurationDays: f.Days,
+		Fleet:        scenario.FleetSpec{Nodes: f.Nodes},
+		Workload: scenario.WorkloadSpec{
+			CostNodeHours:             f.Cost,
+			MitigationCostNodeMinutes: f.MitCost,
+		},
+		Lifecycle: scenario.LifecycleSpec{
+			InitialPolicy:   f.Policy,
+			DriftThreshold:  f.DriftThreshold,
+			DriftWindow:     f.DriftWindow,
+			RetrainMin:      f.RetrainMin,
+			EpochSteps:      f.EpochSteps,
+			ShadowDecisions: f.Shadow,
+			ShadowUEs:       &shadowUEs,
+		},
+	}
+	if f.DriftDay > 0 && f.DriftDay < f.Days {
+		spec.Drift = []scenario.DriftPhase{{
+			AtDay: f.DriftDay,
+			Overlay: scenario.OverlaySpec{
+				CERateMult:         f.DriftMult,
+				CEBurstMult:        f.DriftMult,
+				FaultyFractionMult: 2,
+			},
+		}}
+	}
+	burstNodes := f.BurstNodes
+	if burstNodes <= 0 || burstNodes > f.Nodes {
+		burstNodes = 0 // whole fleet, matching the old injector's clamp
+	}
+	spec.Faults = []scenario.FaultSpec{{
+		Kind:     scenario.FaultBurst,
+		StartDay: f.BurstDay,
+		Nodes:    burstNodes,
+		UEs:      f.BurstUEs,
+		Trains:   1,
+	}}
+	if f.Guarded {
+		tol := f.ProbationTol
+		spec.Lifecycle.Guard = &scenario.GuardSpec{
+			NodeBudgetNodeHours:  f.NodeBudget,
+			NodeWindowHours:      f.NodeBudgetWindow.Hours(),
+			FleetMitigations:     f.FleetBudget,
+			FleetWindowHours:     f.FleetBudgetWindow.Hours(),
+			PromotionsPerDay:     f.PromotionsPerDay,
+			Approve:              f.Approve,
+			ProbationDecisions:   f.Probation,
+			ProbationToleranceNH: &tol,
 		}
 	}
-	out = append(out, a[i:]...)
-	return append(out, b[j:]...)
+	return spec
+}
+
+// printSummary renders the scenario survival summary as the text log.
+func printSummary(sum scenario.Summary) {
+	fmt.Printf("scenario %s: %d nodes, %.0f days, seed %d, guarded=%v\n",
+		sum.Scenario, sum.Nodes, sum.DurationDays, sum.Seed, sum.Guarded)
+	st := sum.Stream
+	fmt.Printf("stream: %d events, %d generated + %d injected UEs, %d dropped, %d delayed, %d duplicated, %d attack windows\n",
+		st.Events, st.GeneratedUEs, st.InjectedUEs, st.Dropped, st.Delayed, st.Duplicated, st.AttackWindows)
+	sv := sum.Survival
+	fmt.Printf("survival: lost %.1f node-hours (UE %.1f + mitigation %.1f over %d mitigations)\n",
+		sv.LostNodeHours, sv.UENodeHours, sv.MitigationNodeHours, sv.Mitigations)
+	fmt.Printf("recall %.4f overall, %.4f under attack (%d/%d attack UEs mitigated); vetoed %d decisions (%d during attack)\n",
+		sv.Recall, sv.RecallUnderAttack, sv.AttackMitigated, sv.AttackUEs,
+		sv.VetoedDecisions, sv.VetoedDuringAttack)
+	lc := sum.Lifecycle
+	fmt.Printf("lifecycle: generation %d, serving %s, swap churn %d\n",
+		lc.FinalGeneration, lc.ServingVersion, lc.SwapChurn)
+	for _, kind := range []uerl.LifecycleEventKind{
+		uerl.LifecycleDrift, uerl.LifecycleRetrain, uerl.LifecycleRetrainFailed,
+		uerl.LifecyclePromote, uerl.LifecycleReject, uerl.LifecycleProbationPass,
+		uerl.LifecycleRollback, uerl.LifecycleApprovalDeny,
+		uerl.LifecycleBudgetTrip, uerl.LifecycleBudgetRecover,
+	} {
+		if n := lc.EventCounts[string(kind)]; n > 0 {
+			fmt.Printf("  %-14s %d\n", kind, n)
+		}
+	}
+	fmt.Print("lineage:")
+	for i, v := range lc.Lineage {
+		if i > 0 {
+			fmt.Print(" <-")
+		}
+		fmt.Printf(" %s", v)
+	}
+	fmt.Println()
 }
 
 // lineageChain reconstructs the served model's version chain, newest

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+func defaultShimFlags() shimFlags {
+	return shimFlags{
+		Seed: 1, Nodes: 16, Days: 10, DriftDay: 5, DriftMult: 6,
+		Policy: "always", Cost: 100, MitCost: 2,
+		DriftThreshold: 8, DriftWindow: 256, RetrainMin: 256, EpochSteps: 64,
+		Shadow: 128, ShadowUEs: 1,
+		BurstDay: 8, BurstUEs: 32, BurstNodes: 8,
+	}
+}
+
+// TestBurstShimSpecCompiles pins the deprecated-flag shim: the
+// generated spec must validate, compile, and inject exactly the burst
+// the old ad-hoc injector produced (count, node fan-out, drift phase).
+func TestBurstShimSpecCompiles(t *testing.T) {
+	f := defaultShimFlags()
+	f.Guarded = true
+	f.NodeBudget = 0.5
+	f.NodeBudgetWindow = 24 * time.Hour
+	f.FleetBudget = 64
+	f.FleetBudgetWindow = time.Hour
+	f.Approve = "auto"
+	f.Probation = 4096
+	f.ProbationTol = 5
+
+	spec := burstShimSpec(f)
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("shim spec invalid: %v", err)
+	}
+	c, err := scenario.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.InjectedUEs != f.BurstUEs {
+		t.Errorf("shim injected %d UEs, want %d", c.InjectedUEs, f.BurstUEs)
+	}
+	if len(c.AttackWindows) != 1 {
+		t.Errorf("shim compiled %d attack windows, want 1", len(c.AttackWindows))
+	}
+	if len(spec.Drift) != 1 || spec.Drift[0].AtDay != f.DriftDay {
+		t.Errorf("drift flags did not map to a drift phase: %+v", spec.Drift)
+	}
+	if ov := spec.Drift[0].Overlay; ov.CERateMult != f.DriftMult || ov.CEBurstMult != f.DriftMult || ov.FaultyFractionMult != 2 {
+		t.Errorf("drift overlay %+v does not match the legacy phase-2 shift", ov)
+	}
+	g := spec.Lifecycle.Guard
+	if g == nil || g.FleetMitigations != 64 || g.NodeBudgetNodeHours != 0.5 ||
+		g.NodeWindowHours != 24 || g.FleetWindowHours != 1 ||
+		g.ProbationDecisions != 4096 || g.ProbationToleranceNH == nil || *g.ProbationToleranceNH != 5 {
+		t.Errorf("guard flags mapped badly: %+v", g)
+	}
+}
+
+// TestBurstShimNodeClamp pins the old injector's clamp: a burst node
+// count of zero or beyond the fleet strikes the whole fleet.
+func TestBurstShimNodeClamp(t *testing.T) {
+	for _, n := range []int{0, -3, 17, 1 << 20} {
+		f := defaultShimFlags()
+		f.BurstNodes = n
+		spec := burstShimSpec(f)
+		if got := spec.Faults[0].Nodes; got != 0 {
+			t.Errorf("BurstNodes=%d mapped to fault nodes %d, want 0 (whole fleet)", n, got)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("BurstNodes=%d: shim spec invalid: %v", n, err)
+		}
+	}
+	f := defaultShimFlags()
+	f.BurstNodes = 8
+	if got := burstShimSpec(f).Faults[0].Nodes; got != 8 {
+		t.Errorf("in-range BurstNodes mapped to %d, want 8", got)
+	}
+}
+
+// TestBurstShimUnguarded pins that without -guard the shim leaves the
+// guard unset, so the lifecycle runs unguarded like the legacy path.
+func TestBurstShimUnguarded(t *testing.T) {
+	spec := burstShimSpec(defaultShimFlags())
+	if spec.Lifecycle.Guard != nil {
+		t.Errorf("unguarded shim set a guard: %+v", spec.Lifecycle.Guard)
+	}
+	if _, err := scenario.Run(spec); err != nil {
+		t.Fatalf("unguarded shim scenario failed to run: %v", err)
+	}
+}

@@ -126,6 +126,16 @@ type GuardStats struct {
 	// ProbationActive reports whether a promoted model is currently on
 	// probation.
 	ProbationActive bool `json:"probation_active"`
+	// BudgetRecoveries counts tripped mitigation budgets recovering (a
+	// mitigation served again after a trip), the closing transitions
+	// paired with BudgetTrips in the audit log.
+	BudgetRecoveries int `json:"budget_recoveries"`
+	// ProbationPasses counts promoted models that survived their
+	// post-promotion probation window.
+	ProbationPasses int `json:"probation_passes"`
+	// VetoesByReason breaks SuppressedMitigations down by the tripped
+	// budget (see the guard package's Reason constants).
+	VetoesByReason map[string]uint64 `json:"vetoes_by_reason,omitempty"`
 }
 
 // probationRun is one active post-promotion probation window.
@@ -203,7 +213,13 @@ type Guard struct {
 	//uerl:guarded-by mu
 	suppressed uint64
 	//uerl:guarded-by mu
+	vetoesByReason map[string]uint64
+	//uerl:guarded-by mu
 	trips int
+	//uerl:guarded-by mu
+	recoveries int
+	//uerl:guarded-by mu
+	probationPasses int
 	//uerl:guarded-by mu
 	promotions int
 	//uerl:guarded-by mu
@@ -239,9 +255,10 @@ func NewGuard(ctl *Controller, opts ...GuardOption) *Guard {
 			MaxPromotions:           cfg.promotionsPerWindow,
 			PromotionWindow:         cfg.promotionWindow,
 		}),
-		trippedNode: map[int]bool{},
-		retained:    map[string]Policy{},
-		parentOf:    map[string]string{},
+		trippedNode:    map[int]bool{},
+		vetoesByReason: map[string]uint64{},
+		retained:       map[string]Policy{},
+		parentOf:       map[string]string{},
 	}
 	ctl.attachGuard(g)
 	return g
@@ -274,13 +291,14 @@ func (g *Guard) ObserveDecision(d Decision) {
 	switch {
 	case d.Vetoed:
 		g.suppressed++
+		g.vetoesByReason[d.VetoReason]++
 		g.recordTripLocked(d)
 	case d.Mitigate():
 		g.budgets.ChargeMitigation(d.Node, d.Time, g.mitigationCostNodeHours())
 		// A served mitigation means the budgets recovered: re-arm the
-		// trip audit for the next crossing.
-		delete(g.trippedNode, d.Node)
-		g.trippedFleet = false
+		// trip audit for the next crossing and record the recovery — the
+		// closing bracket of the trip event, once per tripped state.
+		g.recordRecoveryLocked(d)
 	}
 	if g.probation != nil {
 		ref := g.probation.reference.Decide(Snapshot{Node: d.Node, Time: d.Time, Features: d.Features})
@@ -330,6 +348,34 @@ func (g *Guard) recordTripLocked(d Decision) {
 			Kind: LifecycleBudgetTrip, Time: d.Time, Generation: g.promotions,
 			ModelVersion: d.ModelVersion, Score: float64(g.budgets.FleetMitigations(d.Time)),
 			Detail: fmt.Sprintf("fleet mitigation budget tripped: %d mitigations in sliding %s (limit %d); mitigation suppressed",
+				g.budgets.FleetMitigations(d.Time), g.cfg.fleetWindow, g.cfg.fleetMitigations),
+		})
+	}
+}
+
+// recordRecoveryLocked clears tripped budget states a served mitigation
+// proves recovered, recording one budget-recover audit event per cleared
+// trip. Caller holds g.mu.
+//
+//uerl:locked mu
+func (g *Guard) recordRecoveryLocked(d Decision) {
+	if g.trippedNode[d.Node] {
+		delete(g.trippedNode, d.Node)
+		g.recoveries++
+		g.recordLocked(LifecycleEvent{
+			Kind: LifecycleBudgetRecover, Time: d.Time, Generation: g.promotions,
+			ModelVersion: d.ModelVersion, Score: g.budgets.NodeSpend(d.Node, d.Time),
+			Detail: fmt.Sprintf("node %d checkpoint budget recovered: %.3f nh in sliding %s (limit %.3f nh); mitigation resumed",
+				d.Node, g.budgets.NodeSpend(d.Node, d.Time), g.cfg.nodeWindow, g.cfg.nodeBudgetNodeHours),
+		})
+	}
+	if g.trippedFleet {
+		g.trippedFleet = false
+		g.recoveries++
+		g.recordLocked(LifecycleEvent{
+			Kind: LifecycleBudgetRecover, Time: d.Time, Generation: g.promotions,
+			ModelVersion: d.ModelVersion, Score: float64(g.budgets.FleetMitigations(d.Time)),
+			Detail: fmt.Sprintf("fleet mitigation budget recovered: %d mitigations in sliding %s (limit %d); mitigation resumed",
 				g.budgets.FleetMitigations(d.Time), g.cfg.fleetWindow, g.cfg.fleetMitigations),
 		})
 	}
@@ -435,6 +481,7 @@ func (g *Guard) judgeProbationLocked(at time.Time) {
 	}
 	g.probation = nil
 	if !v.Regressed {
+		g.probationPasses++
 		g.recordLocked(LifecycleEvent{
 			Kind: LifecycleProbationPass, Time: at, Generation: g.promotions,
 			ModelVersion: run.promoted, Parent: run.reference.Version(), Score: v.MarginNodeHours,
@@ -517,12 +564,21 @@ func (g *Guard) eventsSince(n int) ([]LifecycleEvent, int) {
 func (g *Guard) Stats() GuardStats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return GuardStats{
+	st := GuardStats{
 		SuppressedMitigations: g.suppressed,
 		BudgetTrips:           g.trips,
 		Promotions:            g.promotions,
 		DeniedPromotions:      g.denied,
 		Rollbacks:             g.rollbacks,
 		ProbationActive:       g.probation != nil,
+		BudgetRecoveries:      g.recoveries,
+		ProbationPasses:       g.probationPasses,
 	}
+	if len(g.vetoesByReason) > 0 {
+		st.VetoesByReason = make(map[string]uint64, len(g.vetoesByReason))
+		for reason, n := range g.vetoesByReason {
+			st.VetoesByReason[reason] = n
+		}
+	}
+	return st
 }

@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScenarioSpec drives arbitrary bytes through the spec codec and
+// validator: decoding must never panic, a valid spec must survive
+// decode→validate→encode as a fixed point, and the validator must keep
+// rejecting what it rejected (NaN smuggled through floats, negative
+// durations, overlapping schedules) after a round trip.
+func FuzzScenarioSpec(f *testing.F) {
+	seed := validSpec()
+	seed.Drift = []DriftPhase{{AtDay: 3, Overlay: OverlaySpec{CERateMult: 4}}}
+	seed.Faults = []FaultSpec{
+		{Kind: FaultBurst, StartDay: 5, UEs: 8, Trains: 2, CEPrefix: 16},
+		{Kind: FaultDuplicate, StartDay: 1, EndDay: 2, Fraction: 0.5},
+	}
+	if enc, err := Encode(seed); err == nil {
+		f.Add(enc)
+	}
+	f.Add([]byte(`{"name":"x","seed":3,"duration_days":7,"fleet":{"nodes":8}}`))
+	f.Add([]byte(`{"name":"x","duration_days":-1,"fleet":{"nodes":8}}`))
+	f.Add([]byte(`{"name":"x","duration_days":1e400}`))
+	f.Add([]byte(`{"name":"","faults":[{"kind":"burst"}]}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if spec.Validate() != nil {
+			return
+		}
+		enc1, err := Encode(spec)
+		if err != nil {
+			t.Fatalf("valid spec failed to encode: %v", err)
+		}
+		dec, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v\n%s", err, enc1)
+		}
+		if err := dec.Validate(); err != nil {
+			t.Fatalf("validity lost across a round trip: %v\n%s", err, enc1)
+		}
+		enc2, err := Encode(dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("Encode∘Decode not a fixed point:\n%s\nvs\n%s", enc1, enc2)
+		}
+	})
+}

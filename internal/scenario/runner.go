@@ -1,0 +1,344 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	uerl "repro"
+	"repro/internal/evalx"
+)
+
+// Summary is a scenario run's survival scorecard: how the full serving
+// stack — Controller, OnlineLearner, Guard — survived the spec's drift
+// and fault schedule. Summaries are deterministic (same spec, identical
+// summary, any GOMAXPROCS, race detector on or off) and encode
+// canonically, so the named scenarios pin them as golden artifacts.
+type Summary struct {
+	// Scenario identifies the spec; Seed/Nodes/DurationDays echo its
+	// shape so a golden is self-describing.
+	Scenario     string  `json:"scenario"`
+	Seed         int64   `json:"seed"`
+	Nodes        int     `json:"nodes"`
+	DurationDays float64 `json:"duration_days"`
+	// Guarded reports whether the run had production guardrails.
+	Guarded bool `json:"guarded"`
+	// InitialVersion is the version serving at event zero.
+	InitialVersion string `json:"initial_version"`
+
+	Stream    StreamSummary    `json:"stream"`
+	Survival  SurvivalSummary  `json:"survival"`
+	Lifecycle LifecycleSummary `json:"lifecycle"`
+	// Learner is the stack's own accounting (experience-stream drops,
+	// epochs, and — when guarded — GuardStats: vetoes by reason, budget
+	// trip/recover transitions, probation outcomes).
+	Learner uerl.LearnerStats `json:"learner"`
+}
+
+// StreamSummary describes the compiled event stream the stack was fed.
+type StreamSummary struct {
+	Events        int `json:"events"`
+	GeneratedUEs  int `json:"generated_ues"`
+	InjectedUEs   int `json:"injected_ues"`
+	Dropped       int `json:"dropped"`
+	Delayed       int `json:"delayed"`
+	Duplicated    int `json:"duplicated"`
+	AttackWindows int `json:"attack_windows"`
+}
+
+// SurvivalSummary scores the served decision stream against realized
+// outcomes — the metrics that say whether the stack degraded gracefully
+// rather than merely whether it ran.
+type SurvivalSummary struct {
+	// LostNodeHours is the total realized cost (UE + mitigation
+	// node-hours) the fleet paid under the serving stack.
+	LostNodeHours       float64 `json:"lost_node_hours"`
+	UENodeHours         float64 `json:"ue_node_hours"`
+	MitigationNodeHours float64 `json:"mitigation_node_hours"`
+	Mitigations         int     `json:"mitigations"`
+	// Recall is overall served recall; RecallUnderAttack restricts the
+	// outcome set to UEs inside injected attack windows (0 when the
+	// scenario injects none).
+	Recall            float64 `json:"recall"`
+	RecallUnderAttack float64 `json:"recall_under_attack"`
+	AttackUEs         int     `json:"attack_ues"`
+	AttackMitigated   int     `json:"attack_mitigated"`
+	// VetoedDecisions counts decisions a tripped budget degraded to
+	// ActionNone; VetoedDuringAttack the subset inside attack windows.
+	VetoedDecisions    uint64 `json:"vetoed_decisions"`
+	VetoedDuringAttack uint64 `json:"vetoed_during_attack"`
+	// ContractViolations counts graceful-degradation contract breaches
+	// observed on the served stream (always 0 — Run fails otherwise; the
+	// field keeps the invariant visible in every golden).
+	ContractViolations int `json:"contract_violations"`
+}
+
+// LifecycleSummary condenses the audit log.
+type LifecycleSummary struct {
+	// EventCounts tallies audit events by kind (drift, retrain, promote,
+	// budget-trip, budget-recover, rollback, ...).
+	EventCounts map[string]int `json:"event_counts"`
+	// FinalGeneration and ServingVersion identify where serving landed;
+	// Lineage is the served model's version chain, newest first.
+	FinalGeneration int      `json:"final_generation"`
+	ServingVersion  string   `json:"serving_version"`
+	Lineage         []string `json:"lineage"`
+	// SwapChurn counts hot swaps of the serving policy (promotions +
+	// rollbacks) — the stability metric a thrashing lifecycle fails.
+	SwapChurn int `json:"swap_churn"`
+}
+
+// Run compiles and executes the scenario, driving the live stack over
+// the compiled stream and scoring survival. It returns an error if the
+// spec is invalid or the run breaches the graceful-degradation contract:
+// serving must never panic, and every vetoed decision must serve
+// ActionNone.
+func Run(spec Spec) (Summary, error) {
+	c, err := Compile(spec)
+	if err != nil {
+		return Summary{}, err
+	}
+	return RunCompiled(c)
+}
+
+// RunCompiled executes an already-compiled scenario.
+func RunCompiled(c *Compiled) (sum Summary, err error) {
+	spec := c.Spec
+	initial, err := initialPolicy(spec.Lifecycle.InitialPolicy)
+	if err != nil {
+		return Summary{}, err
+	}
+
+	// The contract says serving never panics; a panic anywhere in the
+	// stack is a scenario failure, not a crash of the harness.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("scenario %q: serving stack panicked: %v", spec.Name, r)
+		}
+	}()
+
+	ctl := uerl.NewController(initial)
+	opts, g := learnerOptions(spec, ctl, c)
+
+	shadowCfg := evalx.ShadowConfig{
+		MitigationCostNodeHours: c.MitigationCostNodeMinutes / 60,
+		Restartable:             c.Restartable,
+	}
+	// Two scoreboards over the identical served stream: one sees every
+	// realized UE, the other only the injected-attack subset — their
+	// recalls are the overall and under-attack survival metrics.
+	served := evalx.NewShadowEval("served", shadowCfg)
+	attack := evalx.NewShadowEval("attack", shadowCfg)
+	var (
+		mitigations        int
+		vetoed             uint64
+		vetoedDuringAttack uint64
+		violations         int
+	)
+	opts = append(opts,
+		uerl.WithDecisionObserver(func(d uerl.Decision) {
+			served.Decision(d.Node, d.Time, d.Mitigate())
+			attack.Decision(d.Node, d.Time, d.Mitigate())
+			if d.Mitigate() {
+				mitigations++
+			}
+			if d.Vetoed {
+				vetoed++
+				if c.InAttack(d.Time) {
+					vetoedDuringAttack++
+				}
+				if d.Action != uerl.ActionNone {
+					violations++
+				}
+			}
+		}),
+		uerl.WithUEObserver(func(node int, at time.Time, realized float64) {
+			served.UE(node, at, realized)
+			if c.InAttack(at) {
+				attack.UE(node, at, realized)
+			}
+		}),
+	)
+	learner := uerl.NewOnlineLearner(ctl, opts...)
+
+	if c.Probe != nil {
+		if stop := c.Probe(ctl); stop != nil {
+			defer stop()
+		}
+	}
+	for _, e := range c.Events {
+		learner.Process(e)
+	}
+
+	stats := learner.Stats()
+	events := learner.Events()
+	if violations > 0 {
+		return Summary{}, fmt.Errorf("scenario %q: %d vetoed decisions served an action other than ActionNone", spec.Name, violations)
+	}
+	if g != nil && stats.Guard != nil && stats.Guard.SuppressedMitigations != vetoed {
+		return Summary{}, fmt.Errorf("scenario %q: guard accounted %d suppressed mitigations but the served stream carried %d vetoes",
+			spec.Name, stats.Guard.SuppressedMitigations, vetoed)
+	}
+
+	servedRes := served.Result()
+	attackRes := attack.Result()
+	counts := map[string]int{}
+	for _, ev := range events {
+		counts[string(ev.Kind)]++
+	}
+
+	sum = Summary{
+		Scenario:       spec.Name,
+		Seed:           spec.Seed,
+		Nodes:          spec.Fleet.Nodes,
+		DurationDays:   spec.DurationDays,
+		Guarded:        g != nil,
+		InitialVersion: initial.Version(),
+		Stream: StreamSummary{
+			Events:        len(c.Events),
+			GeneratedUEs:  c.GeneratedUEs,
+			InjectedUEs:   c.InjectedUEs,
+			Dropped:       c.Dropped,
+			Delayed:       c.Delayed,
+			Duplicated:    c.Duplicated,
+			AttackWindows: len(c.AttackWindows),
+		},
+		Survival: SurvivalSummary{
+			LostNodeHours:       round4(servedRes.TotalCost()),
+			UENodeHours:         round4(servedRes.UECost),
+			MitigationNodeHours: round4(servedRes.MitigationCost),
+			Mitigations:         servedRes.Metrics.Mitigations,
+			Recall:              round4(servedRes.Metrics.Recall()),
+			RecallUnderAttack:   round4(attackRes.Metrics.Recall()),
+			AttackUEs:           attackRes.UEs,
+			AttackMitigated:     attackRes.Metrics.TPs,
+			VetoedDecisions:     vetoed,
+			VetoedDuringAttack:  vetoedDuringAttack,
+			ContractViolations:  violations,
+		},
+		Lifecycle: LifecycleSummary{
+			EventCounts:     counts,
+			FinalGeneration: stats.Generation,
+			ServingVersion:  stats.ServingVersion,
+			Lineage:         lineageChain(initial.Version(), stats.ServingVersion, events),
+			SwapChurn:       counts[string(uerl.LifecyclePromote)] + counts[string(uerl.LifecycleRollback)],
+		},
+		Learner: stats,
+	}
+	return sum, nil
+}
+
+// EncodeSummary renders the summary canonically: two-space indented JSON
+// with sorted map keys and a trailing newline — the golden artifact
+// format. Byte-identical summaries mean byte-identical goldens.
+func EncodeSummary(s Summary) ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encoding summary: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// initialPolicy resolves the spec's starting policy.
+func initialPolicy(kind string) (uerl.Policy, error) {
+	switch kind {
+	case "", "always":
+		return uerl.AlwaysPolicy(), nil
+	case "never":
+		return uerl.NeverPolicy(), nil
+	}
+	return nil, fmt.Errorf("scenario: unknown initial policy %q", kind)
+}
+
+// learnerOptions lowers the lifecycle spec to learner options, building
+// the guard when the spec asks for one.
+func learnerOptions(spec Spec, ctl *uerl.Controller, c *Compiled) ([]uerl.LearnerOption, *uerl.Guard) {
+	l := spec.Lifecycle
+	driftThreshold := l.DriftThreshold
+	if driftThreshold == 0 {
+		driftThreshold = 8
+	}
+	shadowUEs := 1
+	if l.ShadowUEs != nil {
+		shadowUEs = *l.ShadowUEs
+	}
+	opts := []uerl.LearnerOption{
+		uerl.WithLearnerSeed(spec.Seed),
+		uerl.WithCostSource(c.Cost),
+		uerl.WithLearnerMitigationCost(c.MitigationCostNodeMinutes),
+		uerl.WithLearnerRestartable(c.Restartable),
+		uerl.WithDriftDetection(driftThreshold, orDefault(l.DriftWindow, 256)),
+		uerl.WithRetraining(orDefault(l.RetrainMin, 256), orDefault(l.EpochSteps, 64)),
+		uerl.WithShadowGate(orDefault(l.ShadowDecisions, 128), shadowUEs),
+	}
+	if l.ExperienceCapacity > 0 {
+		opts = append(opts, uerl.WithExperienceCapacity(l.ExperienceCapacity))
+	}
+	gs := l.Guard
+	if gs == nil {
+		return opts, nil
+	}
+	hook := uerl.AutoApprove()
+	if gs.Approve == "deny" {
+		hook = uerl.DenyPromotions("scenario promotion freeze")
+	}
+	tol := 5.0
+	if gs.ProbationToleranceNH != nil {
+		tol = *gs.ProbationToleranceNH
+	}
+	g := uerl.NewGuard(ctl,
+		uerl.WithNodeCheckpointBudget(gs.NodeBudgetNodeHours, hours(gs.NodeWindowHours, 24*time.Hour)),
+		uerl.WithFleetMitigationBudget(gs.FleetMitigations, hours(gs.FleetWindowHours, time.Hour)),
+		uerl.WithPromotionBudget(gs.PromotionsPerDay),
+		uerl.WithApprovalHook(hook),
+		uerl.WithProbation(orDefault(gs.ProbationDecisions, 4096), tol),
+		uerl.WithGuardMitigationCost(c.MitigationCostNodeMinutes),
+		uerl.WithGuardRestartable(c.Restartable),
+	)
+	return append(opts, uerl.WithGuard(g)), g
+}
+
+// orDefault substitutes def for a zero spec field.
+func orDefault(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// hours converts a spec hour count to a duration, def when zero.
+func hours(h float64, def time.Duration) time.Duration {
+	if h == 0 {
+		return def
+	}
+	return time.Duration(h * float64(time.Hour))
+}
+
+// round4 rounds to 4 decimals: node-hour totals and recall ratios stay
+// readable in goldens without losing the regression signal.
+func round4(v float64) float64 {
+	return math.Round(v*1e4) / 1e4
+}
+
+// lineageChain reconstructs the served model's version chain, newest
+// first, from the Parent links the audit log recorded — after a rollback
+// it ends where serving actually landed, not at the last promotion.
+func lineageChain(initial, serving string, events []uerl.LifecycleEvent) []string {
+	parent := map[string]string{}
+	for _, ev := range events {
+		if ev.ModelVersion != "" && ev.Parent != "" {
+			parent[ev.ModelVersion] = ev.Parent
+		}
+	}
+	chain := []string{}
+	seen := map[string]bool{}
+	for v := serving; v != "" && !seen[v]; v = parent[v] {
+		chain = append(chain, v)
+		seen[v] = true
+	}
+	if len(chain) == 0 || chain[len(chain)-1] != initial {
+		chain = append(chain, initial)
+	}
+	return chain
+}

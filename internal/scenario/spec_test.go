@@ -1,0 +1,175 @@
+package scenario
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/errlog"
+)
+
+// validSpec returns a minimal runnable spec tests mutate.
+func validSpec() Spec {
+	return Spec{
+		Name:         "t",
+		Seed:         1,
+		DurationDays: 10,
+		Fleet:        FleetSpec{Nodes: 16},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	s := validSpec()
+	s.Drift = []DriftPhase{{AtDay: 3, Overlay: OverlaySpec{CERateMult: 4}}, {AtDay: 7}}
+	s.Faults = []FaultSpec{
+		{Kind: FaultBurst, StartDay: 5, UEs: 8, Trains: 2, CEPrefix: 16},
+		{Kind: FaultRamp, StartDay: 1, EndDay: 4, RateMult: 3},
+		{Kind: FaultBlackout, StartDay: 6, EndDay: 7, FirstNode: 0, Nodes: 4},
+		{Kind: FaultDelay, StartDay: 8, EndDay: 9, DelayMinutes: 20},
+		{Kind: FaultDuplicate, StartDay: 2, EndDay: 3, Fraction: 0.5},
+	}
+	s.Workload = WorkloadSpec{CostNodeHours: 50, Phases: []CostPhase{{AtDay: 4, CostNodeHours: 200}}}
+	s.Lifecycle = LifecycleSpec{Guard: &GuardSpec{FleetMitigations: 10}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	intp := func(v int) *int { return &v }
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"no name", func(s *Spec) { s.Name = "" }, "name"},
+		{"nan duration", func(s *Spec) { s.DurationDays = math.NaN() }, "finite"},
+		{"inf duration", func(s *Spec) { s.DurationDays = math.Inf(1) }, "finite"},
+		{"negative duration", func(s *Spec) { s.DurationDays = -1 }, "positive"},
+		{"zero fleet", func(s *Spec) { s.Fleet.Nodes = 0 }, "fleet.nodes"},
+		{"negative overlay", func(s *Spec) { s.Telemetry.CERateMult = -2 }, "non-negative"},
+		{"nan overlay", func(s *Spec) { s.Telemetry.UEMult = math.NaN() }, "finite"},
+		{"drift at zero", func(s *Spec) { s.Drift = []DriftPhase{{AtDay: 0}} }, "drift[0]"},
+		{"drift beyond end", func(s *Spec) { s.Drift = []DriftPhase{{AtDay: 10}} }, "drift[0]"},
+		{"drift not increasing", func(s *Spec) {
+			s.Drift = []DriftPhase{{AtDay: 5}, {AtDay: 5}}
+		}, "drift[1]"},
+		{"zero shares", func(s *Spec) {
+			s.Fleet.ManufacturerShares = &[errlog.NumManufacturers]float64{}
+		}, "sums to zero"},
+		{"unknown fault kind", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: "meteor", StartDay: 1}}
+		}, "unknown kind"},
+		{"burst without ues", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: FaultBurst, StartDay: 1}}
+		}, "ues"},
+		{"negative spacing", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: FaultBurst, StartDay: 1, UEs: 4, SpacingSeconds: -1}}
+		}, "non-negative"},
+		{"fault outside scenario", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: FaultBurst, StartDay: 12, UEs: 4}}
+		}, "outside"},
+		{"window non-positive", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: FaultBlackout, StartDay: 5, EndDay: 5}}
+		}, "non-positive"},
+		{"window past end", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: FaultDelay, StartDay: 5, EndDay: 12, DelayMinutes: 10}}
+		}, "beyond"},
+		{"nan ramp", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: FaultRamp, StartDay: 1, EndDay: 2, RateMult: math.NaN()}}
+		}, "finite"},
+		{"bad fraction", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: FaultDuplicate, StartDay: 1, EndDay: 2, Fraction: 1.5}}
+		}, "fraction"},
+		{"node range off fleet", func(s *Spec) {
+			s.Faults = []FaultSpec{{Kind: FaultBurst, StartDay: 1, UEs: 4, FirstNode: 40}}
+		}, "node range"},
+		{"overlapping same-kind windows", func(s *Spec) {
+			s.Faults = []FaultSpec{
+				{Kind: FaultBlackout, StartDay: 1, EndDay: 5, FirstNode: 0, Nodes: 8},
+				{Kind: FaultBlackout, StartDay: 4, EndDay: 6, FirstNode: 4, Nodes: 8},
+			}
+		}, "overlapping"},
+		{"workload phase outside", func(s *Spec) {
+			s.Workload.Phases = []CostPhase{{AtDay: 11, CostNodeHours: 1}}
+		}, "phases[0]"},
+		{"negative shadow ues", func(s *Spec) {
+			s.Lifecycle.ShadowUEs = intp(-1)
+		}, "shadow_ues"},
+		{"bad initial policy", func(s *Spec) {
+			s.Lifecycle.InitialPolicy = "oracle"
+		}, "initial_policy"},
+		{"bad approve", func(s *Spec) {
+			s.Lifecycle.Guard = &GuardSpec{Approve: "maybe"}
+		}, "approve"},
+		{"nan guard budget", func(s *Spec) {
+			s.Lifecycle.Guard = &GuardSpec{NodeBudgetNodeHours: math.Inf(-1)}
+		}, "finite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mut(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("invalid spec accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// Disjoint same-kind windows and overlapping different-kind windows are
+// both fine — only same-kind/same-nodes overlap is ambiguous.
+func TestValidateWindowOverlapScope(t *testing.T) {
+	s := validSpec()
+	s.Faults = []FaultSpec{
+		{Kind: FaultBlackout, StartDay: 1, EndDay: 3, FirstNode: 0, Nodes: 4},
+		{Kind: FaultBlackout, StartDay: 1, EndDay: 3, FirstNode: 8, Nodes: 4},
+		{Kind: FaultDelay, StartDay: 1, EndDay: 3, DelayMinutes: 5},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("disjoint/different-kind windows rejected: %v", err)
+	}
+}
+
+func TestDecodeRejectsUnknownFieldsAndTrailingData(t *testing.T) {
+	if _, err := Decode([]byte(`{"name":"x","sneed":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Decode([]byte(`{"name":"x"} {"name":"y"}`)); err == nil {
+		t.Fatal("trailing document accepted")
+	}
+}
+
+func TestEncodeDecodeFixedPoint(t *testing.T) {
+	s := validSpec()
+	s.Description = "fixed point"
+	s.Telemetry = OverlaySpec{CERateMult: 2.5}
+	s.Drift = []DriftPhase{{AtDay: 4, Overlay: OverlaySpec{UEMult: 2}}}
+	s.Faults = []FaultSpec{{Kind: FaultBurst, StartDay: 6, UEs: 8, CEPrefix: 32}}
+	ues := 0
+	s.Lifecycle = LifecycleSpec{ShadowUEs: &ues, Guard: &GuardSpec{FleetMitigations: 32}}
+
+	enc1, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(enc1, []byte("\n")) {
+		t.Fatal("canonical encoding lacks trailing newline")
+	}
+	dec, err := Decode(enc1)
+	if err != nil {
+		t.Fatalf("re-decoding canonical encoding: %v", err)
+	}
+	enc2, err := Encode(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Fatalf("Encode∘Decode is not a fixed point:\n%s\nvs\n%s", enc1, enc2)
+	}
+}

@@ -46,6 +46,12 @@ const (
 	// fleet mitigation budget suppressing mitigations, or the promotion
 	// budget freezing a promotion. Recorded once per crossing.
 	LifecycleBudgetTrip LifecycleEventKind = "budget-trip"
+	// LifecycleBudgetRecover marks a tripped mitigation budget recovering:
+	// the sliding window admitted a mitigation again after a trip.
+	// Recorded once per recovery, the closing bracket of a budget-trip
+	// event — audits can pair trips with recoveries to measure how long
+	// each degradation lasted.
+	LifecycleBudgetRecover LifecycleEventKind = "budget-recover"
 	// LifecycleApprovalGrant marks an ApprovalHook approving a promotion.
 	LifecycleApprovalGrant LifecycleEventKind = "approval-grant"
 	// LifecycleApprovalDeny marks an ApprovalHook denying a promotion;
@@ -248,6 +254,9 @@ func (l *OnlineLearner) processUE(e Event) {
 		// decision, exactly as in the offline training environment.
 		p.reward -= realized * l.cfg.rewardScale
 	}
+	if l.cfg.ueObserver != nil {
+		l.cfg.ueObserver(e.Node, e.Time, realized)
+	}
 	l.shadowInc.UE(e.Node, e.Time, realized)
 	if l.candidate != nil {
 		l.shadowCand.UE(e.Node, e.Time, realized)
@@ -272,6 +281,9 @@ func (l *OnlineLearner) processDecision(e Event) {
 		// Budget accounting and probation scoring run off the served
 		// decision stream — the same decision the fleet just acted on.
 		l.cfg.guard.ObserveDecision(d)
+	}
+	if l.cfg.decisionObserver != nil {
+		l.cfg.decisionObserver(d)
 	}
 
 	norm := features.Vector(d.Features).Normalized()

@@ -121,6 +121,9 @@ type learnerConfig struct {
 	// (fault-injection seam for guard tests: substitute a deliberately
 	// regressive candidate without depending on training outcomes).
 	candidateHook func(Policy) Policy
+
+	decisionObserver func(Decision)
+	ueObserver       func(node int, at time.Time, realizedNodeHours float64)
 }
 
 // LearnerOption configures NewOnlineLearner.
@@ -234,6 +237,24 @@ func WithLearnerTrainWorkers(n int) LearnerOption {
 // learner serves (NewOnlineLearner panics otherwise).
 func WithGuard(g *Guard) LearnerOption {
 	return func(c *learnerConfig) { c.guard = g }
+}
+
+// WithDecisionObserver taps the served decision stream: f is called for
+// every decision the learner processes, after budget accounting, with the
+// decision exactly as the fleet saw it (vetoes included). Scenario
+// harnesses and metrics layers use it to score survival without a second
+// Recommend pass; f runs under the learner lock and must not call back
+// into the learner or controller.
+func WithDecisionObserver(f func(Decision)) LearnerOption {
+	return func(c *learnerConfig) { c.decisionObserver = f }
+}
+
+// WithUEObserver taps the realized-outcome stream: f is called for every
+// UncorrectedError event the learner processes, with the realized cost
+// the configured CostSource charged. The same restrictions as
+// WithDecisionObserver apply.
+func WithUEObserver(f func(node int, at time.Time, realizedNodeHours float64)) LearnerOption {
+	return func(c *learnerConfig) { c.ueObserver = f }
 }
 
 // withCandidateHook intercepts staged candidates (test seam; see

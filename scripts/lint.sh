@@ -28,6 +28,18 @@ if ! grep -q '^//uerl:deterministic' internal/guard/guard.go; then
   exit 1
 fi
 
+echo "== uerlvet scenario harness (explicit pass) =="
+# The scenario harness promises byte-identical summaries across runs and
+# GOMAXPROCS values, so the whole package must stay declared
+# deterministic — telemetry time and forked spec-seeded RNGs only. The
+# grep fails loudly if the declaration is dropped, which would silently
+# exempt the compiler/runner from the determinism analyzers.
+go run ./cmd/uerlvet ./internal/scenario
+if ! grep -q '^//uerl:deterministic' internal/scenario/spec.go; then
+  echo "lint: internal/scenario lost its //uerl:deterministic package marker" >&2
+  exit 1
+fi
+
 echo "== uerlvet fixture self-check (each must produce findings) =="
 fixtures=(
   internal/analysis/determinism/testdata/src/det
