@@ -29,6 +29,16 @@
 // mapped onto a generated scenario spec and routed through the same
 // pipeline.
 //
+// With -workers N the stream is served through the distributed fleet
+// layer (internal/fleet): a coordinator rendezvous-hashes nodes across N
+// in-process workers, and -kill-worker / -rejoin-worker (comma-separated
+// id@day entries) schedule worker crashes and rejoins mid-stream to
+// demonstrate failover replay and graceful degradation. With -guard the
+// budget flags lower to per-worker guards; the promotion/approval/
+// probation flags are lifecycle-level features a worker guard cannot
+// arbitrate and are rejected. The -json report gains per-worker fleet
+// health (including each worker's GuardStats).
+//
 // The whole run is deterministic for a fixed flag set.
 package main
 
@@ -36,11 +46,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	uerl "repro"
 	"repro/internal/cliio"
 	"repro/internal/errlog"
+	"repro/internal/fleet"
 	"repro/internal/nn"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
@@ -56,6 +70,7 @@ type legacyScenario struct {
 	UEs       int     `json:"ues"`
 	Initial   string  `json:"initial_version"`
 	Guarded   bool    `json:"guarded,omitempty"`
+	Workers   int     `json:"workers,omitempty"`
 }
 
 type jsonReport struct {
@@ -65,6 +80,10 @@ type jsonReport struct {
 	// Lineage is the served model's version chain, newest first, ending
 	// at the initial policy.
 	Lineage []string `json:"lineage"`
+	// Fleet is the distributed serving layer's health report — per-worker
+	// state, owned nodes and GuardStats, failover/replay totals, journal
+	// activity. Omitted without -workers.
+	Fleet *fleet.Stats `json:"fleet,omitempty"`
 }
 
 func main() {
@@ -101,11 +120,18 @@ func main() {
 	burstDay := flag.Float64("burst-day", 0, "day an adversarial UE burst strikes (0 disables)")
 	burstUEs := flag.Int("burst-ues", 32, "UEs in the injected burst")
 	burstNodes := flag.Int("burst-nodes", 8, "nodes the burst strikes round-robin")
+
+	workers := flag.Int("workers", 0, "serve through the distributed fleet layer with this many in-process workers (0 = single-process Controller)")
+	killWorker := flag.String("kill-worker", "", "comma-separated id@day entries: crash the worker at that stream day (state lost, journal replays on rejoin)")
+	rejoinWorker := flag.String("rejoin-worker", "", "comma-separated id@day entries: bring a killed worker back")
 	flag.Parse()
 
 	if *scenarioFile != "" || (*burstDay > 0 && *burstDay < *days) {
 		if *model != "" || *save != "" {
 			fatal(fmt.Errorf("-model and -save are not supported in scenario mode"))
+		}
+		if *workers > 0 {
+			fatal(fmt.Errorf("-workers is not supported in scenario mode; give the spec a serving section instead"))
 		}
 		if *kernel != "reference" {
 			fatal(fmt.Errorf("scenario runs use the reference kernel; drop -kernel %s", *kernel))
@@ -160,7 +186,7 @@ func main() {
 	sc := legacyScenario{
 		Seed: *seed, Nodes: *nodes, Days: *days, DriftDay: *driftDay, DriftMult: *driftMult,
 		Events: len(stream), UEs: ues, Initial: initial.Version(),
-		Guarded: *guarded,
+		Guarded: *guarded, Workers: *workers,
 	}
 	if !*jsonOut {
 		fmt.Printf("scenario: %d nodes, %.0f days, %d events (%d UEs), fault shift ×%.0f at day %.0f\n",
@@ -177,7 +203,51 @@ func main() {
 		fatal(fmt.Errorf("unknown -kernel %q (want reference or fast)", *kernel))
 	}
 
-	ctl := uerl.NewController(initial)
+	// Single-process serving by default; -workers N swaps in the
+	// distributed fleet layer behind the same Serving interface.
+	var (
+		serving uerl.Serving
+		coord   *fleet.Coordinator
+		tr      *fleet.ChanTransport
+		ctl     *uerl.Controller
+	)
+	var start time.Time
+	if len(stream) > 0 {
+		start = stream[0].Time
+	}
+	var workerFaults []workerFault
+	if *workers > 0 {
+		if *guarded && (*promotionsPerDay != 0 || *approve != "auto" || *probation != 4096) {
+			fatal(fmt.Errorf("-workers lowers -guard to per-worker budget enforcement; the promotion/approval/probation flags are not available with a fleet"))
+		}
+		cfg := fleet.Config{Workers: *workers, Seed: *seed, Initial: initial}
+		if *guarded {
+			guardOpts := []uerl.GuardOption{
+				uerl.WithNodeCheckpointBudget(*nodeBudget, *nodeBudgetWindow),
+				uerl.WithFleetMitigationBudget(*fleetBudget, *fleetBudgetWindow),
+				uerl.WithGuardMitigationCost(*mitcost),
+			}
+			cfg.NewWorker = func(id int) *fleet.Worker {
+				return fleet.NewWorker(id, initial, fleet.WithWorkerGuard(guardOpts...))
+			}
+		}
+		var err error
+		coord, tr, err = fleet.NewInProcess(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		serving = coord
+		if workerFaults, err = parseWorkerFaults(*killWorker, *rejoinWorker, *workers, *days, start); err != nil {
+			fatal(err)
+		}
+	} else {
+		if *killWorker != "" || *rejoinWorker != "" {
+			fatal(fmt.Errorf("-kill-worker/-rejoin-worker need -workers"))
+		}
+		ctl = uerl.NewController(initial)
+		serving = ctl
+	}
+
 	opts := []uerl.LearnerOption{
 		uerl.WithLearnerSeed(*seed),
 		uerl.WithCostSource(uerl.ConstantCost(*cost)),
@@ -189,7 +259,7 @@ func main() {
 		uerl.WithLearnerTrainWorkers(*trainWorkers),
 	}
 	var g *uerl.Guard
-	if *guarded {
+	if *guarded && ctl != nil {
 		hook := uerl.AutoApprove()
 		switch *approve {
 		case "auto":
@@ -208,14 +278,15 @@ func main() {
 		)
 		opts = append(opts, uerl.WithGuard(g))
 	}
-	learner := uerl.NewOnlineLearner(ctl, opts...)
+	learner := uerl.NewServingLearner(serving, opts...)
 
-	var start time.Time
-	if len(stream) > 0 {
-		start = stream[0].Time
-	}
 	printed := 0
+	faults := workerFaults
 	for _, e := range stream {
+		for len(faults) > 0 && !faults[0].at.After(e.Time) {
+			applyWorkerFault(tr, faults[0], start)
+			faults = faults[1:]
+		}
 		learner.Process(e)
 		if *jsonOut {
 			continue
@@ -229,19 +300,30 @@ func main() {
 			printed++
 		}
 	}
+	for _, f := range faults {
+		applyWorkerFault(tr, f, start)
+	}
+	if coord != nil {
+		coord.Reconcile()
+	}
 
 	stats := learner.Stats()
 	lineage := lineageChain(initial.Version(), stats.ServingVersion, learner.Events())
 	if *save != "" {
-		if err := uerl.SaveModelFile(*save, ctl.Policy()); err != nil {
+		if err := uerl.SaveModelFile(*save, serving.Policy()); err != nil {
 			fatal(err)
 		}
 	}
 
 	if *jsonOut {
-		if err := cliio.WriteJSON(os.Stdout, jsonReport{
+		report := jsonReport{
 			Scenario: sc, Events: learner.Events(), Stats: stats, Lineage: lineage,
-		}); err != nil {
+		}
+		if coord != nil {
+			fs := coord.Stats()
+			report.Fleet = &fs
+		}
+		if err := cliio.WriteJSON(os.Stdout, report); err != nil {
 			fatal(err)
 		}
 		return
@@ -255,6 +337,9 @@ func main() {
 			gs.SuppressedMitigations, gs.BudgetTrips, gs.Promotions, gs.DeniedPromotions,
 			gs.Rollbacks, gs.ProbationActive)
 	}
+	if coord != nil {
+		printFleet(coord.Stats())
+	}
 	fmt.Print("lineage:")
 	for i, v := range lineage {
 		if i > 0 {
@@ -265,6 +350,81 @@ func main() {
 	fmt.Println()
 	if *save != "" {
 		fmt.Printf("saved serving model to %s\n", *save)
+	}
+}
+
+// workerFault is one parsed -kill-worker/-rejoin-worker entry.
+type workerFault struct {
+	worker int
+	kind   string // fleet fault: "kill" or "rejoin"
+	at     time.Time
+}
+
+// parseWorkerFaults parses the id@day schedules and merges them into one
+// time-sorted fault list (stable, so a kill and rejoin on the same day
+// keep kill-first order).
+func parseWorkerFaults(kill, rejoin string, workers int, days float64, start time.Time) ([]workerFault, error) {
+	var out []workerFault
+	parse := func(list, kind string) error {
+		if list == "" {
+			return nil
+		}
+		for _, entry := range strings.Split(list, ",") {
+			id, day, ok := strings.Cut(strings.TrimSpace(entry), "@")
+			if !ok {
+				return fmt.Errorf("-%s-worker entry %q is not id@day", kind, entry)
+			}
+			w, err := strconv.Atoi(id)
+			if err != nil || w < 0 || w >= workers {
+				return fmt.Errorf("-%s-worker entry %q: worker outside the %d-worker fleet", kind, entry, workers)
+			}
+			d, err := strconv.ParseFloat(day, 64)
+			if err != nil || d <= 0 || d >= days {
+				return fmt.Errorf("-%s-worker entry %q: day outside (0, %v)", kind, entry, days)
+			}
+			out = append(out, workerFault{worker: w, kind: kind, at: start.Add(time.Duration(d * 24 * float64(time.Hour)))})
+		}
+		return nil
+	}
+	if err := parse(kill, "kill"); err != nil {
+		return nil, err
+	}
+	if err := parse(rejoin, "rejoin"); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].at.Before(out[j].at) })
+	return out, nil
+}
+
+// applyWorkerFault drives one scheduled fault into the transport,
+// narrating it on the text log's day scale.
+func applyWorkerFault(tr *fleet.ChanTransport, f workerFault, start time.Time) {
+	switch f.kind {
+	case "kill":
+		tr.Kill(f.worker)
+	case "rejoin":
+		tr.Rejoin(f.worker)
+	}
+	fmt.Fprintf(os.Stderr, "uerlserve: [day %5.1f] %s worker %d\n",
+		f.at.Sub(start).Hours()/24, f.kind, f.worker)
+}
+
+// printFleet renders the fleet health report on the text log.
+func printFleet(st fleet.Stats) {
+	fmt.Printf("fleet: committed %s, failovers=%d rejoins=%d replayed=%d events over %d nodes, acked=%d, orphans=%d\n",
+		st.Committed, st.Failovers, st.Rejoins, st.ReplayedEvents, st.ReplayedNodes,
+		st.AckedEvents, st.OrphanNodes)
+	fmt.Printf("journal: %d nodes, appended=%d deduped=%d trimmed=%d\n",
+		st.Journal.Nodes, st.Journal.Appended, st.Journal.Deduped, st.Journal.Trimmed)
+	for _, w := range st.Workers {
+		fmt.Printf("  worker %d: %-7s nodes=%d", w.ID, w.State, w.OwnedNodes)
+		if w.Stats != nil {
+			fmt.Printf(" serving=%s", w.Stats.ServingVersion)
+			if w.Stats.Guard != nil {
+				fmt.Printf(" vetoes=%d", w.Stats.Guard.SuppressedMitigations)
+			}
+		}
+		fmt.Println()
 	}
 }
 

@@ -158,6 +158,17 @@ func (c *Controller) SwapPolicy(p Policy) Policy {
 	return *c.policy.Swap(&p)
 }
 
+// DeployPolicy installs a new serving policy and returns the one it
+// replaces — the Serving-interface form of SwapPolicy. On a single
+// controller deployment is a local atomic swap and never fails; the error
+// return exists so distributed implementations (a fleet coordinator
+// staging the artifact to workers and committing on quorum) satisfy the
+// same interface, and so the OnlineLearner can treat a failed rollout as
+// a rejected candidate instead of a promotion.
+func (c *Controller) DeployPolicy(p Policy) (Policy, error) {
+	return c.SwapPolicy(p), nil
+}
+
 // ShardCount reports the number of tracker shards.
 func (c *Controller) ShardCount() int { return len(c.shards) }
 

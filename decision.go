@@ -87,6 +87,24 @@ type Decision struct {
 	// VetoReason names the budget that suppressed the mitigation (see
 	// the guard package's Reason constants); empty when Vetoed is false.
 	VetoReason string
+	// Degraded reports that distributed serving could not reach the
+	// worker owning this node (dead, hung, or backing off between
+	// retries) and answered conservatively instead of blocking or
+	// erroring: Action is ActionNone and the feature snapshot is empty.
+	// The contract mirrors Vetoed — serving stays live, the caller can
+	// see exactly why the answer is weaker than usual.
+	Degraded bool
+	// DegradeReason names the fault behind a degraded answer (see the
+	// fleet package's Degrade* constants); empty when Degraded is false.
+	DegradeReason string
+	// StaleEvents bounds how stale the node state behind this decision
+	// is under distributed serving: the number of this node's journaled
+	// events not yet applied to the answering worker (replay pending)
+	// plus any events that aged out of the bounded journal before a
+	// failover could replay them (lost to rebuild). Zero in
+	// single-process serving and whenever the owning worker is fully
+	// caught up.
+	StaleEvents int
 }
 
 // Mitigate reports whether the decision is to mitigate.

@@ -1,0 +1,770 @@
+// Package fleet is the distributed serving layer: a coordinator that
+// rendezvous-hashes node ids across N workers (each wrapping a Controller
+// + optional Guard behind a Transport boundary), built robustness-first —
+// per-worker health with deterministic-jitter retry/backoff, failover
+// that replays each affected node's bounded event journal into the new
+// owner, graceful degradation (Recommend for an unreachable node answers
+// a conservative ActionNone flagged Degraded, never blocks or errors),
+// and two-phase model-artifact distribution over the versioned SaveModel
+// wire format with quorum commit.
+//
+// Everything the coordinator does is driven by telemetry time and
+// seed-forked RNGs: same seed + same event stream + same fault schedule
+// reproduce the same decision stream, health transitions and replay
+// traffic at any GOMAXPROCS. All coordinator mutation happens on the
+// event-ingestion path (one feeding goroutine, like the Controller's
+// per-node ordering contract); Recommend is read-only on coordinator
+// state, so concurrent probers never perturb a replayed scenario.
+//
+//uerl:deterministic
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	uerl "repro"
+	"repro/internal/features"
+	"repro/internal/mathx"
+)
+
+// Degrade* name the faults behind a Degraded decision (Decision.DegradeReason).
+const (
+	// DegradeNoWorkers: no worker is live; the fleet serves conservative
+	// answers for every node.
+	DegradeNoWorkers = "fleet:no-live-workers"
+	// DegradeOwnerDown: the node's owner is declared dead and no live
+	// worker has taken the node over yet.
+	DegradeOwnerDown = "fleet:owner-down"
+	// DegradeUnreachable: the delivery to the node's owner failed (hung
+	// or just died); health accounting will catch up on the ingestion
+	// path.
+	DegradeUnreachable = "fleet:owner-unreachable"
+)
+
+// A Coordinator is a drop-in serving layer for the online-learning
+// lifecycle (uerl.NewServingLearner).
+var _ uerl.Serving = (*Coordinator)(nil)
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Workers is the number of worker slots (required, >= 1).
+	Workers int
+	// Seed feeds the per-worker retry-jitter RNGs (forked per worker).
+	Seed int64
+	// Initial is the policy the fleet serves before any deploy; also the
+	// default worker factory's initial policy. Required.
+	Initial uerl.Policy
+	// NewWorker builds worker id (start and rejoin-after-kill). Nil
+	// defaults to NewWorker(id, Initial) — unguarded workers.
+	NewWorker func(id int) *Worker
+	// JournalCapacity bounds each node's replay window (default 512
+	// events).
+	JournalCapacity int
+	// DedupWindow absorbs duplicated deliveries (see EventJournal);
+	// default 0 (off).
+	DedupWindow time.Duration
+	// FailureThreshold is the number of consecutive failed attempts
+	// before a worker is declared dead (default 3).
+	FailureThreshold int
+	// RetryBackoff is the base telemetry-time delay between retries
+	// (default 30s), doubling per consecutive failure with ±50% jitter.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the backoff (default 10m) — also the rejoin
+	// discovery latency bound for a long-dead worker.
+	RetryBackoffMax time.Duration
+}
+
+func (cfg *Config) applyDefaults() error {
+	if cfg.Workers <= 0 {
+		return fmt.Errorf("fleet: Config.Workers must be >= 1, got %d", cfg.Workers)
+	}
+	if cfg.Initial == nil {
+		return fmt.Errorf("fleet: Config.Initial policy is required")
+	}
+	if cfg.JournalCapacity <= 0 {
+		cfg.JournalCapacity = 512
+	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 30 * time.Second
+	}
+	if cfg.RetryBackoffMax <= 0 {
+		cfg.RetryBackoffMax = 10 * time.Minute
+	}
+	return nil
+}
+
+// nodeState is the coordinator's ledger for one journaled node.
+type nodeState struct {
+	// owner is the worker currently holding the node's tracker state;
+	// -1 while the node is orphaned (no live worker).
+	owner int
+	// applied is how many of the node's journaled events have been
+	// applied to the current owner's state; journal.Pushed(node) -
+	// applied is the pending backlog.
+	applied uint64
+	// lost counts events permanently unreplayable into the current
+	// state: trimmed from the bounded journal before the last full
+	// rebuild needed them. Zero for a node that never rebuilt.
+	lost uint64
+}
+
+// Coordinator implements uerl.Serving across a worker fleet. See the
+// package comment for the robustness and determinism contracts.
+type Coordinator struct {
+	mu  sync.Mutex
+	cfg Config
+	tr  Transport
+
+	journal *EventJournal
+	workers []*workerHealth
+	nodes   map[int]*nodeState
+	// clock is the max event time observed — the only time source for
+	// health decisions.
+	clock time.Time
+
+	committed uerl.Policy
+	// committedBytes is the committed policy's SaveModel artifact, kept
+	// for re-staging onto recovering/rejoining workers; nil until the
+	// first deploy (workers then already serve Initial from the factory).
+	committedBytes []byte
+
+	failovers      int
+	rejoins        int
+	replayedNodes  int
+	replayedEvents int
+	acked          uint64
+}
+
+// NewCoordinator builds a coordinator over an existing transport (the
+// workers behind it must serve cfg.Initial). Most callers want
+// NewInProcess instead.
+func NewCoordinator(cfg Config, tr Transport) (*Coordinator, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("fleet: NewCoordinator with nil transport")
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		tr:        tr,
+		journal:   NewEventJournal(cfg.JournalCapacity, cfg.DedupWindow),
+		workers:   make([]*workerHealth, cfg.Workers),
+		nodes:     map[int]*nodeState{},
+		committed: cfg.Initial,
+	}
+	root := mathx.NewRNG(cfg.Seed ^ 0x0f1ee7c0)
+	for i := range c.workers {
+		c.workers[i] = &workerHealth{id: i, state: WorkerLive, rng: root.Fork()}
+	}
+	return c, nil
+}
+
+// NewInProcess builds the single-binary multi-worker deployment: a
+// coordinator over a ChanTransport running cfg.Workers goroutine workers.
+// The returned transport doubles as the fault injector (Kill/Hang/Rejoin)
+// for tests and scenarios.
+func NewInProcess(cfg Config) (*Coordinator, *ChanTransport, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, nil, err
+	}
+	factory := cfg.NewWorker
+	if factory == nil {
+		initial := cfg.Initial
+		factory = func(id int) *Worker { return NewWorker(id, initial) }
+	}
+	tr := NewChanTransport(cfg.Workers, factory)
+	c, err := NewCoordinator(cfg, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, tr, nil
+}
+
+// hrwScore is the rendezvous (highest-random-weight) hash of (node,
+// worker): each node independently ranks all workers, the live worker
+// with the top score owns the node. Minimal disruption by construction —
+// a worker's death moves only its own nodes, and its rejoin moves exactly
+// those nodes back.
+func hrwScore(node, worker int) uint64 {
+	x := uint64(node)*0x9E3779B97F4A7C15 ^ (uint64(worker)+1)*0xBF58476D1CE4E5B9
+	// splitmix64 finalizer: full avalanche so dense node/worker ids
+	// spread uniformly.
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// hrwOwner returns the live worker owning node, or -1 when none is live.
+// Callers hold c.mu.
+func (c *Coordinator) hrwOwner(node int) int {
+	best, bestScore := -1, uint64(0)
+	for _, h := range c.workers {
+		if h.state == WorkerDown {
+			continue
+		}
+		if s := hrwScore(node, h.id); best == -1 || s > bestScore {
+			best, bestScore = h.id, s
+		}
+	}
+	return best
+}
+
+// ObserveEvent ingests one telemetry event: advance the clock, run due
+// health probes, journal the event (dedup permitting), and deliver it to
+// the node's owner — catching the owner up from the journal first if it
+// has a backlog. Events must arrive in non-decreasing time order per
+// node; all ingestion must come from one goroutine for byte-identical
+// replay (the Controller's own determinism contract).
+func (c *Coordinator) ObserveEvent(e uerl.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.Time.After(c.clock) {
+		c.clock = e.Time
+	}
+	c.maintain(false)
+	if c.journal.Append(e) {
+		return // deduplicated redelivery; state already reflects it
+	}
+	ns, ok := c.nodes[e.Node]
+	if !ok {
+		ns = &nodeState{owner: c.hrwOwner(e.Node)}
+		c.nodes[e.Node] = ns
+	}
+	if ns.owner < 0 {
+		// Orphaned (every worker down when it appeared): adopt a live
+		// owner as soon as one exists; the journal backlog rebuilds it.
+		ns.owner = c.hrwOwner(e.Node)
+		if ns.owner < 0 {
+			return
+		}
+	}
+	c.deliver(e.Node, ns)
+}
+
+// deliver applies node's journal backlog (usually just the newest event)
+// to its owner, charging health on failure. Caller holds c.mu.
+func (c *Coordinator) deliver(node int, ns *nodeState) {
+	h := c.workers[ns.owner]
+	if h.state == WorkerDown {
+		return // backlog waits for failover/rejoin to resolve the owner
+	}
+	if h.state == WorkerSuspect && c.clock.Before(h.nextRetry) {
+		return // backing off; backlog journals and waits
+	}
+	pushed := c.journal.Pushed(node)
+	var err error
+	var replayed int
+	if pushed-ns.applied == 1 {
+		evs, okRange := c.journal.ReplayFrom(node, ns.applied)
+		if okRange && len(evs) == 1 {
+			err = c.tr.Call(ns.owner, &Request{Kind: ReqObserve, Event: evs[0]}, &Response{})
+		} else {
+			replayed, err = c.rebuild(node, ns)
+		}
+	} else {
+		replayed, err = c.catchUp(node, ns)
+	}
+	if err != nil {
+		c.noteFailure(h)
+		return
+	}
+	ns.applied = pushed
+	c.acked += uint64(1 + replayed)
+	if h.state == WorkerSuspect {
+		c.noteRecovery(h)
+	}
+	h.failures = 0
+}
+
+// catchUp replays node's pending journal suffix onto its owner without
+// dropping state (the owner already holds everything before ns.applied).
+// Falls back to a full rebuild when the window no longer covers the
+// backlog. Returns how many events beyond the newest were replayed.
+// Caller holds c.mu.
+func (c *Coordinator) catchUp(node int, ns *nodeState) (int, error) {
+	evs, okRange := c.journal.ReplayFrom(node, ns.applied)
+	if !okRange {
+		return c.rebuild(node, ns)
+	}
+	err := c.tr.Call(ns.owner, &Request{Kind: ReqReplay, Node: node, Events: evs}, &Response{})
+	if err != nil {
+		return 0, err
+	}
+	c.replayedNodes++
+	c.replayedEvents += len(evs)
+	return len(evs) - 1, nil
+}
+
+// rebuild replays node's full retained window onto its owner after
+// dropping whatever the owner held — the failover path onto a fresh
+// owner, and the catch-up of last resort when the bounded journal trimmed
+// part of a backlog. Events trimmed before this rebuild are gone from the
+// rebuilt state and recorded in ns.lost (surfaced as
+// Decision.StaleEvents). Caller holds c.mu.
+func (c *Coordinator) rebuild(node int, ns *nodeState) (int, error) {
+	evs := c.journal.Window(node)
+	err := c.tr.Call(ns.owner, &Request{Kind: ReqReplay, Node: node, Events: evs, Forget: true}, &Response{})
+	if err != nil {
+		return 0, err
+	}
+	ns.lost = c.journal.Trimmed(node)
+	c.replayedNodes++
+	c.replayedEvents += len(evs)
+	return len(evs) - 1, nil
+}
+
+// noteFailure charges one failed attempt against h: live → suspect with a
+// retry deadline, suspect → closer to the death threshold, threshold →
+// declared dead with failover. Caller holds c.mu.
+func (c *Coordinator) noteFailure(h *workerHealth) {
+	h.failures++
+	if h.state != WorkerDown && h.failures >= c.cfg.FailureThreshold {
+		c.declareDead(h)
+		return
+	}
+	if h.state == WorkerLive {
+		h.state = WorkerSuspect
+	}
+	h.nextRetry = c.clock.Add(h.backoff(c.cfg.RetryBackoff, c.cfg.RetryBackoffMax, h.failures))
+}
+
+// noteRecovery clears a suspect worker back to live, re-staging a missed
+// model deploy and catching up the backlog of every node it owns.
+// Caller holds c.mu.
+func (c *Coordinator) noteRecovery(h *workerHealth) {
+	h.state = WorkerLive
+	h.failures = 0
+	c.restage(h)
+	c.reconcileWorker(h.id)
+}
+
+// declareDead fails h over: every node it owns moves to its
+// rendezvous-next live worker and is rebuilt there from the journal;
+// with no live workers left the nodes are orphaned (served Degraded)
+// until a rejoin. Caller holds c.mu.
+func (c *Coordinator) declareDead(h *workerHealth) {
+	h.state = WorkerDown
+	h.nextRetry = c.clock.Add(h.backoff(c.cfg.RetryBackoff, c.cfg.RetryBackoffMax, h.failures))
+	c.failovers++
+	for _, node := range c.journal.Nodes() {
+		ns := c.nodes[node]
+		if ns.owner != h.id {
+			continue
+		}
+		ns.owner = c.hrwOwner(node)
+		ns.applied = 0
+		if ns.owner < 0 {
+			continue
+		}
+		if _, err := c.rebuild(node, ns); err != nil {
+			// The replacement owner is failing too: charge it (possibly
+			// cascading the failover) and leave the backlog journaled —
+			// deliver retries on the node's next event.
+			c.noteFailure(c.workers[ns.owner])
+			continue
+		}
+		ns.applied = c.journal.Pushed(node)
+	}
+}
+
+// rejoinWorker brings a probed-back worker in: it re-stages the committed
+// model if the worker missed a deploy, then moves every node whose
+// rendezvous owner it is (exactly the nodes it owned before dying) back,
+// rebuilding each from the journal window. Caller holds c.mu.
+func (c *Coordinator) rejoinWorker(h *workerHealth) {
+	h.state = WorkerLive
+	h.failures = 0
+	h.modelStale = c.committedBytes != nil
+	c.rejoins++
+	c.restage(h)
+	for _, node := range c.journal.Nodes() {
+		ns := c.nodes[node]
+		want := c.hrwOwner(node)
+		if want == ns.owner {
+			continue
+		}
+		old := ns.owner
+		ns.owner = want
+		ns.applied = 0
+		if want >= 0 {
+			if _, err := c.rebuild(node, ns); err != nil {
+				c.noteFailure(c.workers[want])
+				continue
+			}
+			ns.applied = c.journal.Pushed(node)
+		}
+		if old >= 0 && c.workers[old].state != WorkerDown {
+			// Best-effort: drop the node's stale state on the previous
+			// owner so its footprint reflects only nodes it serves.
+			_ = c.tr.Call(old, &Request{Kind: ReqForget, Node: node}, &Response{})
+		}
+	}
+}
+
+// restage pushes the committed artifact onto a worker that missed its
+// deploy (stage + commit); failure keeps modelStale set for the next
+// recovery. Caller holds c.mu.
+func (c *Coordinator) restage(h *workerHealth) {
+	if !h.modelStale || c.committedBytes == nil {
+		return
+	}
+	var resp Response
+	req := &Request{Kind: ReqStage, Artifact: c.committedBytes}
+	if err := c.tr.Call(h.id, req, &resp); err != nil || resp.Err != "" {
+		return
+	}
+	commit := &Request{Kind: ReqCommit, Version: c.committed.Version()}
+	if err := c.tr.Call(h.id, commit, &resp); err != nil || resp.Err != "" {
+		return
+	}
+	h.modelStale = false
+}
+
+// reconcileWorker catches up the journal backlog of every node owned by
+// worker id. Caller holds c.mu.
+func (c *Coordinator) reconcileWorker(id int) {
+	for _, node := range c.journal.Nodes() {
+		ns := c.nodes[node]
+		if ns.owner != id || ns.applied == c.journal.Pushed(node) {
+			continue
+		}
+		if _, err := c.catchUp(node, ns); err != nil {
+			c.noteFailure(c.workers[id])
+			return
+		}
+		ns.applied = c.journal.Pushed(node)
+	}
+}
+
+// maintain runs due health probes against suspect and down workers on
+// the telemetry clock: a successful probe recovers or rejoins the
+// worker, a failed one backs off further (suspects crossing the failure
+// threshold are declared dead). force ignores the backoff schedule and
+// probes every non-live worker now — Reconcile's settling semantics.
+// Caller holds c.mu.
+func (c *Coordinator) maintain(force bool) {
+	for _, h := range c.workers {
+		if h.state == WorkerLive || (!force && c.clock.Before(h.nextRetry)) {
+			continue
+		}
+		err := c.tr.Call(h.id, &Request{Kind: ReqPing}, &Response{})
+		switch {
+		case err == nil && h.state == WorkerSuspect:
+			c.noteRecovery(h)
+		case err == nil:
+			c.rejoinWorker(h)
+		default:
+			c.noteFailure(h)
+		}
+	}
+}
+
+// Reconcile settles the fleet now: it probes every non-live worker
+// (ignoring the backoff schedule — recovered workers rejoin
+// immediately), force-flushes every node's journal backlog to its owner,
+// and re-homes orphaned nodes if workers are live again. The
+// end-of-stream settling step scenario runners and tests call before
+// comparing state; ongoing traffic does not need it, deliver catches
+// owners up lazily.
+func (c *Coordinator) Reconcile() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maintain(true)
+	for _, node := range c.journal.Nodes() {
+		ns := c.nodes[node]
+		if ns.owner < 0 {
+			if ns.owner = c.hrwOwner(node); ns.owner < 0 {
+				continue
+			}
+			ns.applied = 0
+		}
+		if ns.applied != c.journal.Pushed(node) {
+			c.deliver(node, ns)
+		}
+	}
+}
+
+// staleness bounds how stale node's served state is: journaled events not
+// yet applied to the owner plus events lost to a rebuild. Caller holds
+// c.mu.
+func (c *Coordinator) staleness(node int) int {
+	ns, ok := c.nodes[node]
+	if !ok {
+		return 0
+	}
+	return int(c.journal.Pushed(node)-ns.applied) + int(ns.lost)
+}
+
+// degraded builds the conservative answer for a node whose owner cannot
+// serve: ActionNone, flagged Degraded with the fault named, the committed
+// policy identity for audit, and the staleness bound. Caller holds c.mu.
+func (c *Coordinator) degraded(node int, at time.Time, cost float64, reason string) uerl.Decision {
+	d := uerl.Decision{
+		Node:          node,
+		Time:          at,
+		Action:        uerl.ActionNone,
+		Policy:        c.committed.Name(),
+		ModelVersion:  c.committed.Version(),
+		Degraded:      true,
+		DegradeReason: reason,
+		StaleEvents:   c.staleness(node),
+	}
+	// Match the empty-state feature shape Recommend would report (the
+	// potential cost is an input, not tracker state).
+	d.Features[features.UECost] = cost
+	return d
+}
+
+// Recommend answers a mitigation query from the node's owner. It never
+// blocks on a faulted worker and never errors: when the owner cannot
+// answer (dead, hung, orphaned, or no live workers), it returns a
+// conservative ActionNone flagged Degraded — mirroring the Vetoed
+// contract — with DegradeReason naming the fault and StaleEvents
+// bounding how much journaled state the answer is missing. Recommend
+// reads but never mutates coordinator state (health, journal, clock), so
+// concurrent pollers cannot perturb a deterministic replay; health is
+// charged on the ingestion path only.
+func (c *Coordinator) Recommend(node int, at time.Time, potentialCostNodeHours float64) uerl.Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	owner := -1
+	if ns, ok := c.nodes[node]; ok {
+		owner = ns.owner
+	} else {
+		owner = c.hrwOwner(node)
+	}
+	if owner < 0 {
+		return c.degraded(node, at, potentialCostNodeHours, DegradeNoWorkers)
+	}
+	if c.workers[owner].state == WorkerDown {
+		return c.degraded(node, at, potentialCostNodeHours, DegradeOwnerDown)
+	}
+	var resp Response
+	req := &Request{Kind: ReqRecommend, Node: node, At: at, Cost: potentialCostNodeHours}
+	if err := c.tr.Call(owner, req, &resp); err != nil {
+		return c.degraded(node, at, potentialCostNodeHours, DegradeUnreachable)
+	}
+	d := resp.Decision
+	d.StaleEvents = c.staleness(node)
+	return d
+}
+
+// Features reads node's feature vector from its owner — the
+// observability twin of Recommend. ok=false when no live worker can
+// answer.
+func (c *Coordinator) Features(node int, at time.Time, potentialCostNodeHours float64) ([uerl.FeatureDim]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	owner := -1
+	if ns, okN := c.nodes[node]; okN {
+		owner = ns.owner
+	} else {
+		owner = c.hrwOwner(node)
+	}
+	if owner < 0 || c.workers[owner].state == WorkerDown {
+		return [uerl.FeatureDim]float64{}, false
+	}
+	var resp Response
+	req := &Request{Kind: ReqFeatures, Node: node, At: at, Cost: potentialCostNodeHours}
+	if err := c.tr.Call(owner, req, &resp); err != nil {
+		return [uerl.FeatureDim]float64{}, false
+	}
+	return resp.Features, true
+}
+
+// Policy returns the committed fleet-wide policy.
+func (c *Coordinator) Policy() uerl.Policy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.committed
+}
+
+// DeployPolicy rolls p out in two phases over the SaveModel wire format:
+// stage to every live worker (each validates the artifact), then — if a
+// majority of the live fleet acked — commit; otherwise abort everywhere
+// and keep the incumbent, returning an error so the caller records a
+// rejected rollout. Workers that missed the deploy (down, or failed
+// mid-protocol) are marked model-stale and re-staged when they recover.
+func (c *Coordinator) DeployPolicy(p uerl.Policy) (uerl.Policy, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p == nil {
+		return c.committed, fmt.Errorf("fleet: DeployPolicy with nil policy")
+	}
+	var buf bytes.Buffer
+	if err := uerl.SaveModel(&buf, p); err != nil {
+		return c.committed, fmt.Errorf("fleet: policy not distributable: %w", err)
+	}
+	artifact := buf.Bytes()
+
+	var staged, reachable []int
+	var rejections []string
+	for _, h := range c.workers {
+		if h.state == WorkerDown {
+			continue
+		}
+		var resp Response
+		err := c.tr.Call(h.id, &Request{Kind: ReqStage, Artifact: artifact}, &resp)
+		if err != nil {
+			c.noteFailure(h)
+			continue
+		}
+		reachable = append(reachable, h.id)
+		if resp.Err != "" {
+			rejections = append(rejections, fmt.Sprintf("worker %d: %s", h.id, resp.Err))
+			continue
+		}
+		staged = append(staged, h.id)
+	}
+	quorum := len(reachable)/2 + 1
+	if len(reachable) == 0 || len(staged) < quorum {
+		for _, id := range staged {
+			_ = c.tr.Call(id, &Request{Kind: ReqAbort}, &Response{})
+		}
+		return c.committed, fmt.Errorf("fleet: deploy of %s rejected by quorum (%d/%d staged, need %d): %s",
+			p.Version(), len(staged), len(reachable), quorum, firstOr(rejections, "no reachable workers"))
+	}
+	prev := c.committed
+	c.committed = p
+	c.committedBytes = artifact
+	for _, h := range c.workers {
+		h.modelStale = true
+	}
+	for _, id := range staged {
+		var resp Response
+		err := c.tr.Call(id, &Request{Kind: ReqCommit, Version: p.Version()}, &resp)
+		if err != nil {
+			c.noteFailure(c.workers[id])
+			continue
+		}
+		if resp.Err == "" {
+			c.workers[id].modelStale = false
+		}
+	}
+	return prev, nil
+}
+
+func firstOr(list []string, fallback string) string {
+	if len(list) == 0 {
+		return fallback
+	}
+	return list[0]
+}
+
+// ObserveDecision routes a served decision to the guard of the node's
+// owner for budget accounting. Degraded decisions are coordinator-made
+// (no worker acted) and are not charged; unreachable owners drop the
+// charge — the budget ledger tracks what workers actually enforced.
+func (c *Coordinator) ObserveDecision(d uerl.Decision) {
+	if d.Degraded {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ns, ok := c.nodes[d.Node]
+	if !ok || ns.owner < 0 || c.workers[ns.owner].state == WorkerDown {
+		return
+	}
+	_ = c.tr.Call(ns.owner, &Request{Kind: ReqObserveDecision, Decision: d}, &Response{})
+}
+
+// ObserveUE routes a realized UE outcome to the owner's guard.
+func (c *Coordinator) ObserveUE(node int, at time.Time, realizedCostNodeHours float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ns, ok := c.nodes[node]
+	if !ok || ns.owner < 0 || c.workers[ns.owner].state == WorkerDown {
+		return
+	}
+	req := &Request{Kind: ReqObserveUE, Node: node, At: at, Cost: realizedCostNodeHours}
+	_ = c.tr.Call(ns.owner, req, &Response{})
+}
+
+// WorkerHealth is one worker's health and serving state in Stats.
+type WorkerHealth struct {
+	ID int `json:"id"`
+	// State is live, suspect or down.
+	State WorkerState `json:"state"`
+	// Failures is the consecutive-failure count toward the threshold.
+	Failures int `json:"failures,omitempty"`
+	// ModelStale marks a worker still missing the committed deploy.
+	ModelStale bool `json:"model_stale,omitempty"`
+	// OwnedNodes is how many journaled nodes currently route to the
+	// worker.
+	OwnedNodes int `json:"owned_nodes"`
+	// Stats is the worker's own report; nil when unreachable.
+	Stats *WorkerStats `json:"stats,omitempty"`
+}
+
+// Stats is a point-in-time fleet health report.
+type Stats struct {
+	// Committed is the fleet-wide committed model version.
+	Committed string `json:"committed_version"`
+	// Workers is per-worker health in id order.
+	Workers []WorkerHealth `json:"workers"`
+	// OrphanNodes counts nodes currently without a live owner.
+	OrphanNodes int `json:"orphan_nodes"`
+	// Failovers counts workers declared dead; Rejoins counts workers
+	// brought back.
+	Failovers int `json:"failovers"`
+	Rejoins   int `json:"rejoins"`
+	// ReplayedNodes / ReplayedEvents count journal replay traffic
+	// (failover rebuilds and backlog catch-ups).
+	ReplayedNodes  int `json:"replayed_nodes"`
+	ReplayedEvents int `json:"replayed_events"`
+	// AckedEvents counts events confirmed applied by an owner.
+	AckedEvents uint64 `json:"acked_events"`
+	// Journal summarizes the replay journal.
+	Journal JournalStats `json:"journal"`
+}
+
+// Stats reports fleet health: per-worker state (querying reachable
+// workers for their own serving stats), failover/replay totals and
+// journal activity.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Committed:      c.committed.Version(),
+		Failovers:      c.failovers,
+		Rejoins:        c.rejoins,
+		ReplayedNodes:  c.replayedNodes,
+		ReplayedEvents: c.replayedEvents,
+		AckedEvents:    c.acked,
+		Journal:        c.journal.Stats(),
+	}
+	owned := make(map[int]int, len(c.workers))
+	for _, node := range c.journal.Nodes() {
+		ns := c.nodes[node]
+		if ns.owner < 0 {
+			st.OrphanNodes++
+			continue
+		}
+		owned[ns.owner]++
+	}
+	for _, h := range c.workers {
+		wh := WorkerHealth{
+			ID: h.id, State: h.state, Failures: h.failures,
+			ModelStale: h.modelStale, OwnedNodes: owned[h.id],
+		}
+		if h.state != WorkerDown {
+			var resp Response
+			if err := c.tr.Call(h.id, &Request{Kind: ReqStats}, &resp); err == nil {
+				ws := resp.Stats
+				wh.Stats = &ws
+			}
+		}
+		st.Workers = append(st.Workers, wh)
+	}
+	return st
+}

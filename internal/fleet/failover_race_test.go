@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	uerl "repro"
+	"repro/internal/mathx"
+)
+
+// TestFleetFailoverParity is the tentpole e2e (run under -race in the CI
+// fleet-failover job): a worker is killed mid-burst and later rejoins
+// while concurrent probers hammer Recommend. The contract proved here:
+//
+//   - zero acked events are lost — after the stream settles, every
+//     node's tracker state is bit-identical to an uninterrupted
+//     single-process Controller fed the same stream;
+//   - serving stays live throughout — probers always get an answer, and
+//     any degraded answer is a conservative ActionNone with a reason;
+//   - the outage is visible — the fleet reports the failover, the
+//     rejoin, and replay traffic.
+func TestFleetFailoverParity(t *testing.T) {
+	const nodes = 40
+	events := genStream(7, nodes, 4000, 20*time.Second)
+
+	// Uninterrupted single-process reference.
+	ref := uerl.NewController(uerl.AlwaysPolicy())
+	for _, e := range events {
+		ref.ObserveEvent(e)
+	}
+
+	coord, tr, err := NewInProcess(Config{
+		Workers: 4, Seed: 11, Initial: uerl.AlwaysPolicy(),
+		JournalCapacity: len(events), // no trimming: full replayability
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Probers: concurrent Recommend traffic across the whole fault arc.
+	// They must never block, error or see a malformed degraded answer.
+	var (
+		stop       = make(chan struct{})
+		wg         sync.WaitGroup
+		degraded   atomic.Uint64
+		contractOK atomic.Bool
+	)
+	contractOK.Store(true)
+	t0 := events[0].Time
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := mathx.NewRNG(seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d := coord.Recommend(rng.Intn(nodes), t0.Add(time.Duration(rng.Intn(90_000))*time.Second), 100)
+				if d.Degraded {
+					degraded.Add(1)
+					if d.Action != uerl.ActionNone || d.DegradeReason == "" {
+						contractOK.Store(false)
+					}
+				}
+			}
+		}(int64(100 + p))
+	}
+
+	kill, rejoin := len(events)/3, 2*len(events)/3
+	for i, e := range events {
+		if i == kill {
+			tr.Kill(1)
+		}
+		if i == rejoin {
+			tr.Rejoin(1)
+		}
+		coord.ObserveEvent(e)
+	}
+	close(stop)
+	wg.Wait()
+	coord.Reconcile()
+
+	// Bit-identical parity: the fleet's post-failover tracker state per
+	// node equals the uninterrupted run's, element for element.
+	at := events[len(events)-1].Time.Add(time.Hour)
+	for n := 0; n < nodes; n++ {
+		want := ref.Features(n, at, 100)
+		got, ok := coord.Features(n, at, 100)
+		if !ok {
+			t.Fatalf("node %d unanswerable after the stream settled", n)
+		}
+		if got != want {
+			t.Fatalf("node %d state diverged after failover+rejoin:\n got %v\nwant %v", n, got, want)
+		}
+	}
+	if !contractOK.Load() {
+		t.Fatal("a degraded answer broke the conservative-ActionNone contract")
+	}
+
+	st := coord.Stats()
+	if st.Failovers < 1 || st.Rejoins < 1 {
+		t.Fatalf("fault arc not exercised: failovers=%d rejoins=%d", st.Failovers, st.Rejoins)
+	}
+	if st.ReplayedEvents == 0 || st.ReplayedNodes == 0 {
+		t.Fatalf("failover did not replay journal state: %+v", st)
+	}
+	if st.OrphanNodes != 0 {
+		t.Fatalf("%d nodes left orphaned after rejoin", st.OrphanNodes)
+	}
+	if st.Journal.Appended != uint64(len(events)) {
+		t.Fatalf("journal appended %d of %d events", st.Journal.Appended, len(events))
+	}
+	for _, w := range st.Workers {
+		if w.State != WorkerLive {
+			t.Fatalf("worker %d ended %s, want live", w.ID, w.State)
+		}
+	}
+}
+
+// TestFleetOrphanRecommendLive drives the degraded path concurrently:
+// with the whole fleet down, Recommend from many goroutines stays
+// non-blocking and conservative.
+func TestFleetOrphanRecommendLive(t *testing.T) {
+	coord, tr, err := NewInProcess(Config{
+		Workers: 2, Seed: 3, Initial: uerl.AlwaysPolicy(),
+		FailureThreshold: 2, RetryBackoff: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := genStream(5, 10, 200, time.Minute)
+	for i, e := range events {
+		if i == 50 {
+			tr.Kill(0)
+			tr.Kill(1)
+		}
+		coord.ObserveEvent(e)
+	}
+	var wg sync.WaitGroup
+	bad := atomic.Bool{}
+	at := events[len(events)-1].Time
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				d := coord.Recommend(node, at, 50)
+				if !d.Degraded || d.Action != uerl.ActionNone {
+					bad.Store(true)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if bad.Load() {
+		t.Fatal("orphaned-fleet Recommend returned a non-degraded or non-conservative answer")
+	}
+}

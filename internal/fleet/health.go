@@ -1,0 +1,58 @@
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/mathx"
+)
+
+// WorkerState is a worker's health as the coordinator sees it.
+type WorkerState string
+
+const (
+	// WorkerLive is a healthy worker: deliveries go straight through.
+	WorkerLive WorkerState = "live"
+	// WorkerSuspect is a worker with recent consecutive failures, being
+	// retried on a backoff schedule; its nodes' events journal and wait.
+	WorkerSuspect WorkerState = "suspect"
+	// WorkerDown is a declared-dead worker: its nodes failed over, and
+	// the coordinator probes it on a capped backoff for a rejoin.
+	WorkerDown WorkerState = "down"
+)
+
+// workerHealth is the coordinator's per-worker health ledger. All times
+// are telemetry time — the coordinator clock advances with the event
+// stream, never with the wall clock — and the retry jitter comes from a
+// per-worker RNG forked from the coordinator seed, so a fault scenario
+// replays byte-identically.
+type workerHealth struct {
+	id    int
+	state WorkerState
+	// failures counts consecutive failed delivery/probe attempts;
+	// reaching the failure threshold declares the worker dead.
+	failures int
+	// nextRetry is the earliest telemetry time of the next attempt
+	// while suspect or down.
+	nextRetry time.Time
+	// modelStale marks a worker that missed a committed deploy (down,
+	// or its commit failed); re-staged when it comes back.
+	modelStale bool
+	rng        *mathx.RNG
+}
+
+// backoff computes the delay before the next retry after the attempt-th
+// consecutive failure (1-based): exponential doubling from base, a
+// ±50% deterministic jitter to de-synchronize probe schedules, capped at
+// max.
+func (h *workerHealth) backoff(base, max time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	jitter := 0.5 + h.rng.Float64()
+	j := time.Duration(float64(d) * jitter)
+	if j > max {
+		j = max
+	}
+	return j
+}

@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"sort"
+	"time"
+
+	uerl "repro"
+	"repro/internal/lifecycle"
+)
+
+// EventJournal keeps a bounded per-node window of recent telemetry — the
+// coordinator's replay source for rebuilding tracker state on a new owner
+// after a failover, and for catching a recovered worker up on deliveries
+// it missed. Every event is journaled before delivery is attempted, so an
+// event the coordinator accepted is never lost to a worker fault while it
+// is still inside the window; events that age out of the window before a
+// rebuild needs them are counted and surface as Decision.StaleEvents.
+//
+// An optional dedup window absorbs duplicated delivery from flapping
+// collectors: an event identical to a journaled one (same node, type,
+// location and count) within the window is dropped before it can
+// double-count into feature state. Zero disables dedup — per-node CE
+// records are cumulative and legitimately repeat outside flapping
+// scenarios, so dedup is an opt-in for deployments whose collectors
+// actually redeliver.
+type EventJournal struct {
+	capacity int
+	window   time.Duration
+	nodes    map[int]*lifecycle.Ring[uerl.Event]
+	deduped  uint64
+}
+
+// NewEventJournal creates a journal retaining up to capacity events per
+// node, deduplicating redeliveries within dedupWindow (0 = off).
+func NewEventJournal(capacity int, dedupWindow time.Duration) *EventJournal {
+	if capacity <= 0 {
+		panic("fleet: journal capacity must be positive")
+	}
+	return &EventJournal{
+		capacity: capacity,
+		window:   dedupWindow,
+		nodes:    map[int]*lifecycle.Ring[uerl.Event]{},
+	}
+}
+
+// sameDelivery reports whether b looks like a redelivery of a: identical
+// in everything but the (collector-stamped, possibly re-stamped) time.
+func sameDelivery(a, b uerl.Event) bool {
+	return a.Node == b.Node && a.Type == b.Type && a.DIMM == b.DIMM &&
+		a.Count == b.Count && a.Rank == b.Rank && a.Bank == b.Bank &&
+		a.Row == b.Row && a.Col == b.Col
+}
+
+// Append journals e. It returns dup=true (and journals nothing) when e is
+// a redelivery of an event already in the dedup window.
+func (j *EventJournal) Append(e uerl.Event) (dup bool) {
+	r, ok := j.nodes[e.Node]
+	if !ok {
+		r = lifecycle.NewRing[uerl.Event](j.capacity)
+		j.nodes[e.Node] = r
+	}
+	if j.window > 0 {
+		floor := e.Time.Add(-j.window)
+		for i := r.Len() - 1; i >= 0; i-- {
+			prev := r.At(i)
+			if prev.Time.Before(floor) {
+				break
+			}
+			if sameDelivery(prev, e) {
+				j.deduped++
+				return true
+			}
+		}
+	}
+	r.Push(e)
+	return false
+}
+
+// Pushed reports how many events were ever journaled for node (dedup
+// drops excluded). The next event journaled for the node gets sequence
+// number Pushed.
+func (j *EventJournal) Pushed(node int) uint64 {
+	if r, ok := j.nodes[node]; ok {
+		return r.Pushed()
+	}
+	return 0
+}
+
+// Trimmed reports how many of node's journaled events have aged out of
+// the bounded window and can no longer be replayed.
+func (j *EventJournal) Trimmed(node int) uint64 {
+	if r, ok := j.nodes[node]; ok {
+		return r.Dropped()
+	}
+	return 0
+}
+
+// ReplayFrom returns node's retained events with sequence numbers >= seq
+// in order, and whether the window still covers that range (ok=false
+// means events in [seq, oldest-retained) were trimmed, so a catch-up
+// from seq is impossible and the caller must do a full rebuild from
+// Window instead).
+func (j *EventJournal) ReplayFrom(node int, seq uint64) ([]uerl.Event, bool) {
+	r, ok := j.nodes[node]
+	if !ok {
+		return nil, seq == 0
+	}
+	oldest := r.Dropped()
+	if seq < oldest {
+		return nil, false
+	}
+	out := make([]uerl.Event, 0, r.Len()-int(seq-oldest))
+	for i := int(seq - oldest); i < r.Len(); i++ {
+		out = append(out, r.At(i))
+	}
+	return out, true
+}
+
+// Window returns node's full retained event window, oldest first.
+func (j *EventJournal) Window(node int) []uerl.Event {
+	r, ok := j.nodes[node]
+	if !ok {
+		return nil
+	}
+	out := make([]uerl.Event, 0, r.Len())
+	r.Do(func(e uerl.Event) { out = append(out, e) })
+	return out
+}
+
+// Nodes returns the journaled node ids in ascending order — the
+// deterministic iteration order for failover reassignment.
+func (j *EventJournal) Nodes() []int {
+	out := make([]int, 0, len(j.nodes))
+	for n := range j.nodes {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// JournalStats summarizes journal activity.
+type JournalStats struct {
+	// Nodes is the number of nodes with a journal window.
+	Nodes int `json:"nodes"`
+	// Appended is the total number of events journaled.
+	Appended uint64 `json:"appended"`
+	// Deduped counts redeliveries dropped by the dedup window.
+	Deduped uint64 `json:"deduped"`
+	// Trimmed counts events aged out of the bounded windows.
+	Trimmed uint64 `json:"trimmed"`
+}
+
+// Stats reports journal activity totals.
+func (j *EventJournal) Stats() JournalStats {
+	st := JournalStats{Nodes: len(j.nodes), Deduped: j.deduped}
+	for _, r := range j.nodes {
+		st.Appended += r.Pushed()
+		st.Trimmed += r.Dropped()
+	}
+	return st
+}

@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"errors"
+	"time"
+
+	uerl "repro"
+)
+
+// ReqKind selects the worker operation a Request carries.
+type ReqKind int
+
+const (
+	// ReqPing checks liveness; it carries no payload.
+	ReqPing ReqKind = iota
+	// ReqObserve ingests Request.Event into the worker's controller.
+	ReqObserve
+	// ReqReplay re-applies Request.Events (a journal window, oldest
+	// first) to Request.Node. With Forget set the worker drops the
+	// node's state first — a full rebuild; without it the events extend
+	// the node's existing state — a catch-up of deliveries the worker
+	// missed.
+	ReqReplay
+	// ReqForget drops Request.Node's state (the node moved to another
+	// worker).
+	ReqForget
+	// ReqRecommend answers a mitigation query for Request.Node at
+	// Request.At with potential cost Request.Cost.
+	ReqRecommend
+	// ReqFeatures reads Request.Node's raw feature vector.
+	ReqFeatures
+	// ReqStage validates Request.Artifact (a SaveModel document) and
+	// holds the decoded policy for a later ReqCommit. A validation
+	// failure is reported in Response.Err — an application-level
+	// rejection, not a transport failure.
+	ReqStage
+	// ReqCommit swaps the staged policy matching Request.Version into
+	// the worker's controller.
+	ReqCommit
+	// ReqAbort discards any staged policy.
+	ReqAbort
+	// ReqStats reports the worker's serving state.
+	ReqStats
+	// ReqObserveDecision feeds Request.Decision to the worker's guard
+	// for budget accounting (no-op on unguarded workers).
+	ReqObserveDecision
+	// ReqObserveUE feeds a realized UE (Request.Node, Request.At,
+	// realized cost Request.Cost) to the worker's guard.
+	ReqObserveUE
+)
+
+// Request is one coordinator→worker message. Exactly the fields the Kind
+// documents are meaningful; the rest stay zero.
+type Request struct {
+	Kind     ReqKind
+	Event    uerl.Event
+	Events   []uerl.Event
+	Node     int
+	At       time.Time
+	Cost     float64
+	Decision uerl.Decision
+	Artifact []byte
+	Version  string
+	Forget   bool
+}
+
+// Response is the worker's answer. Err carries application-level
+// rejections (e.g. a staged artifact failing validation) from a healthy
+// worker; transport-level failures are the error return of
+// Transport.Call and count against the worker's health instead.
+type Response struct {
+	Decision uerl.Decision
+	Features [uerl.FeatureDim]float64
+	Stats    WorkerStats
+	Version  string
+	Err      string
+}
+
+// Transport delivers requests to workers. Call is synchronous: it returns
+// after the worker processed the request (resp filled in), or with an
+// error when the worker cannot be reached. Implementations must be safe
+// for concurrent use and must fail fast — a dead or hung worker surfaces
+// as an immediate error, never an indefinite block, so the coordinator's
+// graceful-degradation contract (Recommend never blocks) holds end to
+// end.
+//
+// Determinism contract: given the same sequence of calls and the same
+// fault schedule, Call must return the same results and errors — the
+// in-process implementation models a hung worker as a deterministic
+// timeout error rather than waiting out wall-clock time. Network
+// implementations satisfy the serving contract but naturally cannot
+// replay byte-identically; the golden tests pin the in-process transport.
+type Transport interface {
+	Call(worker int, req *Request, resp *Response) error
+}
+
+// ErrWorkerDown reports a worker that is not running (killed, crashed, or
+// never started).
+var ErrWorkerDown = errors.New("fleet: worker down")
+
+// ErrWorkerTimeout reports a worker that did not answer in time (hung).
+// The in-process transport returns it immediately for a worker with a
+// hang fault injected — the deterministic stand-in for a wall-clock
+// timeout.
+var ErrWorkerTimeout = errors.New("fleet: worker timed out")

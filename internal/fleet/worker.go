@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"bytes"
+
+	uerl "repro"
+)
+
+// WorkerStats is one worker's serving state as reported over the
+// transport.
+type WorkerStats struct {
+	// Nodes is the number of nodes with tracked feature state.
+	Nodes int `json:"nodes"`
+	// ServingVersion is the model version the worker currently serves.
+	ServingVersion string `json:"serving_version"`
+	// StagedVersion is a staged-but-uncommitted artifact, if any.
+	StagedVersion string `json:"staged_version,omitempty"`
+	// Guard summarizes the worker guard's budget enforcement; nil on
+	// unguarded workers.
+	Guard *uerl.GuardStats `json:"guard,omitempty"`
+}
+
+// WorkerOption configures a Worker.
+type WorkerOption func(*workerConfig)
+
+type workerConfig struct {
+	controllerOpts []uerl.ControllerOption
+	guardOpts      []uerl.GuardOption
+	guarded        bool
+	stageGate      func(version string) error
+}
+
+// WithWorkerGuard attaches a per-worker Guard (budget enforcement local
+// to the worker's slice of the fleet) built with the given options.
+// Promotion gates are fleet-level concerns and stay with the coordinator
+// and learner; worker guards only meter mitigations.
+func WithWorkerGuard(opts ...uerl.GuardOption) WorkerOption {
+	return func(c *workerConfig) {
+		c.guarded = true
+		c.guardOpts = opts
+	}
+}
+
+// WithWorkerController passes options through to the worker's Controller.
+func WithWorkerController(opts ...uerl.ControllerOption) WorkerOption {
+	return func(c *workerConfig) { c.controllerOpts = opts }
+}
+
+// WithStageGate installs a hook consulted before an artifact is staged;
+// a non-nil error rejects the artifact (reported as Response.Err). Tests
+// use it to exercise the quorum-rollback path; a production worker could
+// pin policy kinds or versions with it.
+func WithStageGate(gate func(version string) error) WorkerOption {
+	return func(c *workerConfig) { c.stageGate = gate }
+}
+
+// Worker wraps one Controller (+ optional Guard) behind the transport
+// boundary: the unit a coordinator hashes nodes onto. A worker has no
+// knowledge of the fleet — it applies whatever the coordinator sends, so
+// the same implementation backs live serving, journal replay after a
+// failover, and staged model swaps. All methods are invoked by the
+// transport's serving goroutine, one request at a time.
+type Worker struct {
+	id        int
+	ctl       *uerl.Controller
+	guard     *uerl.Guard
+	staged    uerl.Policy
+	stageGate func(version string) error
+}
+
+// NewWorker builds a worker serving initial.
+func NewWorker(id int, initial uerl.Policy, opts ...WorkerOption) *Worker {
+	var cfg workerConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	ctl := uerl.NewController(initial, cfg.controllerOpts...)
+	w := &Worker{id: id, ctl: ctl, stageGate: cfg.stageGate}
+	if cfg.guarded {
+		w.guard = uerl.NewGuard(ctl, cfg.guardOpts...)
+	}
+	return w
+}
+
+// ID reports the worker's slot.
+func (w *Worker) ID() int { return w.id }
+
+// handle processes one request. Transport-level failures never originate
+// here — a reachable worker always answers, reporting application-level
+// rejections via resp.Err.
+func (w *Worker) handle(req *Request, resp *Response) {
+	switch req.Kind {
+	case ReqPing:
+	case ReqObserve:
+		w.ctl.ObserveEvent(req.Event)
+	case ReqReplay:
+		if req.Forget {
+			w.ctl.Forget(req.Node)
+		}
+		for _, e := range req.Events {
+			w.ctl.ObserveEvent(e)
+		}
+	case ReqForget:
+		w.ctl.Forget(req.Node)
+	case ReqRecommend:
+		resp.Decision = w.ctl.Recommend(req.Node, req.At, req.Cost)
+	case ReqFeatures:
+		resp.Features = w.ctl.Features(req.Node, req.At, req.Cost)
+	case ReqStage:
+		p, err := uerl.LoadModel(bytes.NewReader(req.Artifact))
+		if err != nil {
+			resp.Err = "stage: " + err.Error()
+			return
+		}
+		if w.stageGate != nil {
+			if err := w.stageGate(p.Version()); err != nil {
+				resp.Err = "stage: " + err.Error()
+				return
+			}
+		}
+		w.staged = p
+		resp.Version = p.Version()
+	case ReqCommit:
+		if w.staged == nil || w.staged.Version() != req.Version {
+			resp.Err = "commit: no staged artifact for version " + req.Version
+			return
+		}
+		w.ctl.SwapPolicy(w.staged)
+		w.staged = nil
+	case ReqAbort:
+		w.staged = nil
+	case ReqStats:
+		resp.Stats = WorkerStats{
+			Nodes:          w.ctl.NodeCount(),
+			ServingVersion: w.ctl.Policy().Version(),
+		}
+		if w.staged != nil {
+			resp.Stats.StagedVersion = w.staged.Version()
+		}
+		if w.guard != nil {
+			gs := w.guard.Stats()
+			resp.Stats.Guard = &gs
+		}
+	case ReqObserveDecision:
+		if w.guard != nil {
+			w.guard.ObserveDecision(req.Decision)
+		}
+	case ReqObserveUE:
+		if w.guard != nil {
+			w.guard.ObserveUE(req.Node, req.At, req.Cost)
+		}
+	default:
+		resp.Err = "unknown request kind"
+	}
+}

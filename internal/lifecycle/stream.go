@@ -11,7 +11,6 @@
 package lifecycle
 
 import (
-	"fmt"
 	"sync"
 
 	"repro/internal/rl"
@@ -21,35 +20,22 @@ import (
 // drops the oldest buffered transition (live experience is perishable:
 // the newest transitions reflect the distribution being learned), and the
 // drop is counted so operators can size the buffer against their retrain
-// cadence. Stream is safe for concurrent use.
+// cadence. Stream is safe for concurrent use: it is a mutex around the
+// shared Ring core.
 type Stream struct {
-	mu      sync.Mutex
-	buf     []rl.Transition
-	head    int
-	size    int
-	pushed  uint64
-	dropped uint64
+	mu   sync.Mutex
+	ring *Ring[rl.Transition]
 }
 
 // NewStream creates a stream holding at most capacity transitions.
 func NewStream(capacity int) *Stream {
-	if capacity <= 0 {
-		panic(fmt.Sprintf("lifecycle: stream capacity must be positive, got %d", capacity))
-	}
-	return &Stream{buf: make([]rl.Transition, capacity)}
+	return &Stream{ring: NewRing[rl.Transition](capacity)}
 }
 
 // Push appends a transition, evicting the oldest when full.
 func (s *Stream) Push(tr rl.Transition) {
 	s.mu.Lock()
-	if s.size == len(s.buf) {
-		s.head = (s.head + 1) % len(s.buf)
-		s.size--
-		s.dropped++
-	}
-	s.buf[(s.head+s.size)%len(s.buf)] = tr
-	s.size++
-	s.pushed++
+	s.ring.Push(tr)
 	s.mu.Unlock()
 }
 
@@ -58,11 +44,9 @@ func (s *Stream) Push(tr rl.Transition) {
 func (s *Stream) Drain(f func(rl.Transition)) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := s.size
-	for i := 0; i < n; i++ {
-		f(s.buf[(s.head+i)%len(s.buf)])
-	}
-	s.head, s.size = 0, 0
+	n := s.ring.Len()
+	s.ring.Do(f)
+	s.ring.Reset()
 	return n
 }
 
@@ -70,22 +54,22 @@ func (s *Stream) Drain(f func(rl.Transition)) int {
 func (s *Stream) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.size
+	return s.ring.Len()
 }
 
 // Pushed reports the total number of transitions ever pushed.
 func (s *Stream) Pushed() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.pushed
+	return s.ring.Pushed()
 }
 
 // Dropped reports how many transitions were evicted unconsumed.
 func (s *Stream) Dropped() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.dropped
+	return s.ring.Dropped()
 }
 
 // Cap reports the stream capacity.
-func (s *Stream) Cap() int { return len(s.buf) }
+func (s *Stream) Cap() int { return s.ring.Cap() }

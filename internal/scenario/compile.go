@@ -19,6 +19,13 @@ const mn3Nodes = 3056
 // telemetry generator, which consumes Spec.Seed directly.
 const injectionSalt = 0x5ce7a510
 
+// WorkerFault is one compiled serving-layer fault.
+type WorkerFault struct {
+	At     time.Time
+	Worker int
+	Kind   string
+}
+
 // Window is a closed time interval, used for the attack windows burst
 // trains cover.
 type Window struct {
@@ -52,6 +59,11 @@ type Compiled struct {
 	Dropped    int
 	Delayed    int
 	Duplicated int
+	// WorkerFaults is the serving-layer fault schedule lowered to
+	// absolute times, in schedule order (empty without a Serving
+	// section); the runner applies each fault to the fleet transport
+	// just before the first event at or after its time.
+	WorkerFaults []WorkerFault
 	// Cost is the workload model: the potential/realized UE cost at any
 	// instant, following the spec's cost phases.
 	Cost uerl.CostFunc
@@ -135,6 +147,16 @@ func Compile(spec Spec) (*Compiled, error) {
 	sort.SliceStable(c.Events, func(i, j int) bool {
 		return c.Events[i].Time.Before(c.Events[j].Time)
 	})
+
+	// The serving-layer schedule is validated non-decreasing, so the
+	// lowered form is already time-sorted.
+	if spec.Serving != nil {
+		for _, f := range spec.Serving.Faults {
+			c.WorkerFaults = append(c.WorkerFaults, WorkerFault{
+				At: start.Add(day(f.AtDay)), Worker: f.Worker, Kind: f.Kind,
+			})
+		}
+	}
 	return c, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	uerl "repro"
 	"repro/internal/evalx"
+	"repro/internal/fleet"
 )
 
 // Summary is a scenario run's survival scorecard: how the full serving
@@ -34,6 +35,53 @@ type Summary struct {
 	// epochs, and — when guarded — GuardStats: vetoes by reason, budget
 	// trip/recover transitions, probation outcomes).
 	Learner uerl.LearnerStats `json:"learner"`
+	// Fleet reports the distributed serving layer's fault arc; nil for
+	// single-process scenarios (omitted from their goldens).
+	Fleet *FleetSummary `json:"fleet,omitempty"`
+}
+
+// FleetSummary scores the distributed serving layer: what the
+// coordinator survived (failovers, rejoins, replay traffic), what the
+// journal absorbed (dedup, trim), and what degradation the served
+// decision stream carried. Degraded/staleness counts come from the
+// runner's decision observer — the served stream itself — never from
+// Recommend-path coordinator counters, which concurrent probers could
+// otherwise perturb.
+type FleetSummary struct {
+	Workers        int `json:"workers"`
+	Failovers      int `json:"failovers"`
+	Rejoins        int `json:"rejoins"`
+	OrphanNodes    int `json:"orphan_nodes"`
+	ReplayedNodes  int `json:"replayed_nodes"`
+	ReplayedEvents int `json:"replayed_events"`
+	// AckedEvents counts events an owner confirmed applied; the journal
+	// counters say what ingestion appended, deduplicated as redelivered,
+	// and trimmed past the replay window.
+	AckedEvents     uint64 `json:"acked_events"`
+	JournalAppended uint64 `json:"journal_appended"`
+	JournalDeduped  uint64 `json:"journal_deduped"`
+	JournalTrimmed  uint64 `json:"journal_trimmed"`
+	// DegradedDecisions counts served decisions answered conservatively
+	// because the node's owner couldn't; MaxStaleEvents is the largest
+	// staleness bound any served decision carried.
+	DegradedDecisions uint64 `json:"degraded_decisions"`
+	MaxStaleEvents    int    `json:"max_stale_events"`
+	// WorkerStates is the end-of-run health line per worker, id order.
+	WorkerStates []WorkerSummary `json:"worker_states"`
+}
+
+// WorkerSummary is one worker's end-of-run health line.
+type WorkerSummary struct {
+	ID         int    `json:"id"`
+	State      string `json:"state"`
+	OwnedNodes int    `json:"owned_nodes"`
+	// ServingVersion is what the worker actually serves (empty when the
+	// worker ended unreachable).
+	ServingVersion string `json:"serving_version,omitempty"`
+	// Vetoes is the worker guard's suppressed-mitigation count. A killed
+	// worker's ledger dies with it — a rejoined worker restarts from
+	// zero, so these are per-incarnation, not a stream total.
+	Vetoes uint64 `json:"vetoes,omitempty"`
 }
 
 // StreamSummary describes the compiled event stream the stack was fed.
@@ -118,7 +166,24 @@ func RunCompiled(c *Compiled) (sum Summary, err error) {
 		}
 	}()
 
-	ctl := uerl.NewController(initial)
+	// Single-process scenarios serve from one Controller; a Serving
+	// section swaps in the distributed fleet behind the same interface.
+	var (
+		serving uerl.Serving
+		ctl     *uerl.Controller
+		coord   *fleet.Coordinator
+		tr      *fleet.ChanTransport
+	)
+	if spec.Serving != nil {
+		coord, tr, err = buildFleet(spec, initial, c)
+		if err != nil {
+			return Summary{}, err
+		}
+		serving = coord
+	} else {
+		ctl = uerl.NewController(initial)
+		serving = ctl
+	}
 	opts, g := learnerOptions(spec, ctl, c)
 
 	shadowCfg := evalx.ShadowConfig{
@@ -135,6 +200,8 @@ func RunCompiled(c *Compiled) (sum Summary, err error) {
 		vetoed             uint64
 		vetoedDuringAttack uint64
 		violations         int
+		degradedDecisions  uint64
+		maxStale           int
 	)
 	opts = append(opts,
 		uerl.WithDecisionObserver(func(d uerl.Decision) {
@@ -152,6 +219,17 @@ func RunCompiled(c *Compiled) (sum Summary, err error) {
 					violations++
 				}
 			}
+			// The distributed-serving half of the graceful-degradation
+			// contract: a degraded answer is always conservative.
+			if d.Degraded {
+				degradedDecisions++
+				if d.Action != uerl.ActionNone {
+					violations++
+				}
+			}
+			if d.StaleEvents > maxStale {
+				maxStale = d.StaleEvents
+			}
 		}),
 		uerl.WithUEObserver(func(node int, at time.Time, realized float64) {
 			served.UE(node, at, realized)
@@ -160,15 +238,31 @@ func RunCompiled(c *Compiled) (sum Summary, err error) {
 			}
 		}),
 	)
-	learner := uerl.NewOnlineLearner(ctl, opts...)
+	learner := uerl.NewServingLearner(serving, opts...)
 
-	if c.Probe != nil {
+	if c.Probe != nil && ctl != nil {
 		if stop := c.Probe(ctl); stop != nil {
 			defer stop()
 		}
 	}
+	// Worker faults strike just before the first event at or after their
+	// scheduled time — the interleaving every run reproduces exactly.
+	wf := c.WorkerFaults
 	for _, e := range c.Events {
+		for len(wf) > 0 && !wf[0].At.After(e.Time) {
+			applyWorkerFault(tr, wf[0])
+			wf = wf[1:]
+		}
 		learner.Process(e)
+	}
+	for _, f := range wf {
+		applyWorkerFault(tr, f)
+	}
+	if coord != nil {
+		// Settle the fleet: probe downed workers back in and flush every
+		// node's journal backlog so the summary scores the recovered
+		// steady state, not a mid-failover snapshot.
+		coord.Reconcile()
 	}
 
 	stats := learner.Stats()
@@ -193,7 +287,7 @@ func RunCompiled(c *Compiled) (sum Summary, err error) {
 		Seed:           spec.Seed,
 		Nodes:          spec.Fleet.Nodes,
 		DurationDays:   spec.DurationDays,
-		Guarded:        g != nil,
+		Guarded:        g != nil || (coord != nil && spec.Lifecycle.Guard != nil),
 		InitialVersion: initial.Version(),
 		Stream: StreamSummary{
 			Events:        len(c.Events),
@@ -226,7 +320,84 @@ func RunCompiled(c *Compiled) (sum Summary, err error) {
 		},
 		Learner: stats,
 	}
+	if coord != nil {
+		sum.Fleet = fleetSummary(coord, spec.Serving.Workers, degradedDecisions, maxStale)
+	}
 	return sum, nil
+}
+
+// fleetSummary condenses the coordinator's end-of-run stats plus the
+// served stream's degradation accounting into the summary section.
+func fleetSummary(coord *fleet.Coordinator, workers int, degraded uint64, maxStale int) *FleetSummary {
+	st := coord.Stats()
+	fs := &FleetSummary{
+		Workers:           workers,
+		Failovers:         st.Failovers,
+		Rejoins:           st.Rejoins,
+		OrphanNodes:       st.OrphanNodes,
+		ReplayedNodes:     st.ReplayedNodes,
+		ReplayedEvents:    st.ReplayedEvents,
+		AckedEvents:       st.AckedEvents,
+		JournalAppended:   st.Journal.Appended,
+		JournalDeduped:    st.Journal.Deduped,
+		JournalTrimmed:    st.Journal.Trimmed,
+		DegradedDecisions: degraded,
+		MaxStaleEvents:    maxStale,
+	}
+	for _, w := range st.Workers {
+		ws := WorkerSummary{ID: w.ID, State: string(w.State), OwnedNodes: w.OwnedNodes}
+		if w.Stats != nil {
+			ws.ServingVersion = w.Stats.ServingVersion
+			if w.Stats.Guard != nil {
+				ws.Vetoes = w.Stats.Guard.SuppressedMitigations
+			}
+		}
+		fs.WorkerStates = append(fs.WorkerStates, ws)
+	}
+	return fs
+}
+
+// buildFleet lowers the serving section to an in-process fleet. A
+// GuardSpec lowers to per-worker guards enforcing its budgets over the
+// nodes each worker owns — a failover hands a node to a guard with no
+// memory of the previous owner's spend, so the budget is an owner-local
+// safety net, not a global ledger.
+func buildFleet(spec Spec, initial uerl.Policy, c *Compiled) (*fleet.Coordinator, *fleet.ChanTransport, error) {
+	sv := spec.Serving
+	cfg := fleet.Config{
+		Workers:          sv.Workers,
+		Seed:             spec.Seed,
+		Initial:          initial,
+		JournalCapacity:  sv.JournalCapacity,
+		DedupWindow:      time.Duration(sv.DedupWindowSeconds * float64(time.Second)),
+		FailureThreshold: sv.FailureThreshold,
+		RetryBackoff:     time.Duration(sv.RetryBackoffSeconds * float64(time.Second)),
+	}
+	if gs := spec.Lifecycle.Guard; gs != nil {
+		guardOpts := []uerl.GuardOption{
+			uerl.WithNodeCheckpointBudget(gs.NodeBudgetNodeHours, hours(gs.NodeWindowHours, 24*time.Hour)),
+			uerl.WithFleetMitigationBudget(gs.FleetMitigations, hours(gs.FleetWindowHours, time.Hour)),
+			uerl.WithGuardMitigationCost(c.MitigationCostNodeMinutes),
+			uerl.WithGuardRestartable(c.Restartable),
+		}
+		cfg.NewWorker = func(id int) *fleet.Worker {
+			return fleet.NewWorker(id, initial, fleet.WithWorkerGuard(guardOpts...))
+		}
+	}
+	return fleet.NewInProcess(cfg)
+}
+
+// applyWorkerFault drives one compiled serving-layer fault into the
+// transport's fault injector.
+func applyWorkerFault(tr *fleet.ChanTransport, f WorkerFault) {
+	switch f.Kind {
+	case WorkerKill:
+		tr.Kill(f.Worker)
+	case WorkerHang:
+		tr.Hang(f.Worker)
+	case WorkerRejoin:
+		tr.Rejoin(f.Worker)
+	}
 }
 
 // EncodeSummary renders the summary canonically: two-space indented JSON
@@ -252,7 +423,9 @@ func initialPolicy(kind string) (uerl.Policy, error) {
 }
 
 // learnerOptions lowers the lifecycle spec to learner options, building
-// the guard when the spec asks for one.
+// the guard when the spec asks for one. With a nil controller (fleet
+// mode) the guard is not built here — buildFleet lowers the GuardSpec
+// budgets onto each worker instead.
 func learnerOptions(spec Spec, ctl *uerl.Controller, c *Compiled) ([]uerl.LearnerOption, *uerl.Guard) {
 	l := spec.Lifecycle
 	driftThreshold := l.DriftThreshold
@@ -276,7 +449,7 @@ func learnerOptions(spec Spec, ctl *uerl.Controller, c *Compiled) ([]uerl.Learne
 		opts = append(opts, uerl.WithExperienceCapacity(l.ExperienceCapacity))
 	}
 	gs := l.Guard
-	if gs == nil {
+	if gs == nil || ctl == nil {
 		return opts, nil
 	}
 	hook := uerl.AutoApprove()

@@ -52,6 +52,23 @@ const (
 	FaultDuplicate = "duplicate"
 )
 
+// Worker-fault kinds accepted by WorkerFaultSpec.Kind: the serving-layer
+// faults a scenario schedules against the distributed fleet (requires a
+// Serving section).
+const (
+	// WorkerKill crashes the worker: its in-memory tracker state is gone
+	// and a later rejoin comes back empty, forcing the coordinator to
+	// rebuild the worker's nodes from the event journal.
+	WorkerKill = "kill"
+	// WorkerHang makes the worker unresponsive while retaining state:
+	// deliveries fail fast with a deterministic timeout until it rejoins.
+	WorkerHang = "hang"
+	// WorkerRejoin brings a killed or hung worker back; the coordinator
+	// discovers it on its next probe (Reconcile at stream end probes
+	// unconditionally).
+	WorkerRejoin = "rejoin"
+)
+
 // Spec is the declarative description of one scenario. The zero value is
 // not runnable: Nodes and DurationDays are required, everything else
 // defaults via Validate/ApplyDefaults. Specs are plain data — encode one
@@ -85,6 +102,10 @@ type Spec struct {
 	Workload WorkloadSpec `json:"workload,omitempty"`
 	// Lifecycle configures the learner and (optionally) the guard.
 	Lifecycle LifecycleSpec `json:"lifecycle,omitempty"`
+	// Serving, when set, runs the scenario on the distributed fleet
+	// serving layer instead of a single in-process Controller, with its
+	// own worker-fault schedule; the summary gains a Fleet section.
+	Serving *ServingSpec `json:"serving,omitempty"`
 }
 
 // FleetSpec shapes the simulated population.
@@ -252,6 +273,51 @@ type GuardSpec struct {
 	ProbationToleranceNH *float64 `json:"probation_tolerance_nh,omitempty"`
 }
 
+// ServingSpec runs the scenario on the distributed serving layer: a
+// fleet coordinator shards the node population across Workers in-process
+// workers over the deterministic channel transport, and the lifecycle
+// learner drives the coordinator exactly as it would a single
+// Controller. The Faults schedule kills, hangs and rejoins workers
+// mid-stream, exercising failover replay and graceful degradation.
+//
+// With a Serving section the scenario's GuardSpec lowers to per-worker
+// budget enforcement (each worker wraps its Controller in a Guard);
+// the promotion/approval/probation knobs are lifecycle-level features a
+// worker guard cannot arbitrate and are rejected by Validate.
+type ServingSpec struct {
+	// Workers is the fleet width (required, positive).
+	Workers int `json:"workers"`
+	// JournalCapacity bounds the per-node failover-replay journal
+	// (default 512 events per node); events trimmed before a rebuild
+	// needed them surface as Decision.StaleEvents.
+	JournalCapacity int `json:"journal_capacity,omitempty"`
+	// DedupWindowSeconds drops journal re-appends of a payload-identical
+	// event within the window — the at-least-once-transport defense
+	// (0 disables).
+	DedupWindowSeconds float64 `json:"dedup_window_seconds,omitempty"`
+	// FailureThreshold is the consecutive-failure count declaring a
+	// worker dead (default 3).
+	FailureThreshold int `json:"failure_threshold,omitempty"`
+	// RetryBackoffSeconds is the base telemetry-time retry backoff for
+	// suspect/down workers (default 30s), doubling with ±50%
+	// deterministic jitter.
+	RetryBackoffSeconds float64 `json:"retry_backoff_seconds,omitempty"`
+	// Faults is the worker-fault schedule in non-decreasing at_day
+	// order; each fault applies just before the first event at or after
+	// its time.
+	Faults []WorkerFaultSpec `json:"faults,omitempty"`
+}
+
+// WorkerFaultSpec schedules one serving-layer fault.
+type WorkerFaultSpec struct {
+	// Worker indexes the target in [0, Workers).
+	Worker int `json:"worker"`
+	// Kind is "kill", "hang" or "rejoin" (see the Worker* constants).
+	Kind string `json:"kind"`
+	// AtDay is when the fault strikes, inside (0, DurationDays).
+	AtDay float64 `json:"at_day"`
+}
+
 // Decode parses a Spec from JSON. Unknown fields are rejected — a typo'd
 // knob must not silently run the default scenario.
 func Decode(data []byte) (Spec, error) {
@@ -354,7 +420,10 @@ func (s Spec) Validate() error {
 	if err := s.Workload.validate(s.DurationDays); err != nil {
 		return err
 	}
-	return s.Lifecycle.validate()
+	if err := s.Lifecycle.validate(); err != nil {
+		return err
+	}
+	return s.Serving.validate(s.DurationDays, s.Lifecycle)
 }
 
 // validateFault checks one injection entry.
@@ -527,6 +596,76 @@ func (l LifecycleSpec) validate() error {
 	case "", "auto", "deny":
 	default:
 		return fmt.Errorf("scenario: lifecycle.guard.approve %q unknown (want auto or deny)", g.Approve)
+	}
+	return nil
+}
+
+// validate checks the serving section: fleet shape, knob sanity, guard
+// compatibility, and a worker-fault schedule that reads as a legal state
+// machine (kill/hang strike an up worker, rejoin revives a downed one).
+func (sv *ServingSpec) validate(durationDays float64, l LifecycleSpec) error {
+	if sv == nil {
+		return nil
+	}
+	if sv.Workers <= 0 {
+		return fmt.Errorf("scenario: serving.workers must be positive, got %d", sv.Workers)
+	}
+	if sv.JournalCapacity < 0 || sv.FailureThreshold < 0 {
+		return fmt.Errorf("scenario: serving counts must be non-negative")
+	}
+	for _, m := range []struct {
+		field string
+		v     float64
+	}{
+		{"dedup_window_seconds", sv.DedupWindowSeconds},
+		{"retry_backoff_seconds", sv.RetryBackoffSeconds},
+	} {
+		if err := finite("serving."+m.field, m.v); err != nil {
+			return err
+		}
+		if m.v < 0 {
+			return fmt.Errorf("scenario: serving.%s must be a non-negative duration, got %v", m.field, m.v)
+		}
+	}
+	if g := l.Guard; g != nil {
+		if g.PromotionsPerDay != 0 || g.Approve != "" || g.ProbationDecisions != 0 || g.ProbationToleranceNH != nil {
+			return fmt.Errorf("scenario: serving lowers lifecycle.guard to per-worker budget enforcement; promotion/approval/probation knobs are not available with serving.workers set")
+		}
+	}
+	up := make([]bool, sv.Workers)
+	for i := range up {
+		up[i] = true
+	}
+	prev := 0.0
+	for i, f := range sv.Faults {
+		name := func(field string) string { return fmt.Sprintf("serving.faults[%d].%s", i, field) }
+		if err := finite(name("at_day"), f.AtDay); err != nil {
+			return err
+		}
+		if f.AtDay <= 0 || f.AtDay >= durationDays {
+			return fmt.Errorf("scenario: %s %v outside (0, %v)", name("at_day"), f.AtDay, durationDays)
+		}
+		if f.AtDay < prev {
+			return fmt.Errorf("scenario: %s %v breaks the non-decreasing schedule order", name("at_day"), f.AtDay)
+		}
+		prev = f.AtDay
+		if f.Worker < 0 || f.Worker >= sv.Workers {
+			return fmt.Errorf("scenario: %s %d outside the %d-worker fleet", name("worker"), f.Worker, sv.Workers)
+		}
+		switch f.Kind {
+		case WorkerKill, WorkerHang:
+			if !up[f.Worker] {
+				return fmt.Errorf("scenario: serving.faults[%d] %ss worker %d, which is already down", i, f.Kind, f.Worker)
+			}
+			up[f.Worker] = false
+		case WorkerRejoin:
+			if up[f.Worker] {
+				return fmt.Errorf("scenario: serving.faults[%d] rejoins worker %d, which is not down", i, f.Worker)
+			}
+			up[f.Worker] = true
+		default:
+			return fmt.Errorf("scenario: serving.faults[%d] has unknown kind %q", i, f.Kind)
+		}
 	}
 	return nil
 }

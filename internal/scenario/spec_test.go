@@ -106,6 +106,40 @@ func TestValidateRejects(t *testing.T) {
 		{"nan guard budget", func(s *Spec) {
 			s.Lifecycle.Guard = &GuardSpec{NodeBudgetNodeHours: math.Inf(-1)}
 		}, "finite"},
+		{"serving zero workers", func(s *Spec) {
+			s.Serving = &ServingSpec{}
+		}, "serving.workers"},
+		{"serving negative dedup", func(s *Spec) {
+			s.Serving = &ServingSpec{Workers: 2, DedupWindowSeconds: -1}
+		}, "dedup_window_seconds"},
+		{"serving guard promotion knobs", func(s *Spec) {
+			s.Lifecycle.Guard = &GuardSpec{PromotionsPerDay: 2}
+			s.Serving = &ServingSpec{Workers: 2}
+		}, "budget enforcement"},
+		{"worker fault unknown kind", func(s *Spec) {
+			s.Serving = &ServingSpec{Workers: 2, Faults: []WorkerFaultSpec{{Worker: 0, Kind: "explode", AtDay: 1}}}
+		}, "unknown kind"},
+		{"worker fault off fleet", func(s *Spec) {
+			s.Serving = &ServingSpec{Workers: 2, Faults: []WorkerFaultSpec{{Worker: 2, Kind: WorkerKill, AtDay: 1}}}
+		}, "outside the 2-worker fleet"},
+		{"worker fault outside window", func(s *Spec) {
+			s.Serving = &ServingSpec{Workers: 2, Faults: []WorkerFaultSpec{{Worker: 0, Kind: WorkerKill, AtDay: 10}}}
+		}, "outside"},
+		{"worker faults out of order", func(s *Spec) {
+			s.Serving = &ServingSpec{Workers: 2, Faults: []WorkerFaultSpec{
+				{Worker: 0, Kind: WorkerKill, AtDay: 5},
+				{Worker: 1, Kind: WorkerHang, AtDay: 3},
+			}}
+		}, "non-decreasing"},
+		{"rejoin of live worker", func(s *Spec) {
+			s.Serving = &ServingSpec{Workers: 2, Faults: []WorkerFaultSpec{{Worker: 0, Kind: WorkerRejoin, AtDay: 1}}}
+		}, "not down"},
+		{"kill of dead worker", func(s *Spec) {
+			s.Serving = &ServingSpec{Workers: 2, Faults: []WorkerFaultSpec{
+				{Worker: 0, Kind: WorkerKill, AtDay: 1},
+				{Worker: 0, Kind: WorkerKill, AtDay: 2},
+			}}
+		}, "already down"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

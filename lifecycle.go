@@ -147,9 +147,14 @@ type pendingStep struct {
 // the same drift verdicts, the same retrained weights (same content-
 // addressed versions), and the same promotion decisions.
 type OnlineLearner struct {
-	mu  sync.Mutex
-	ctl *Controller
-	cfg learnerConfig
+	mu      sync.Mutex
+	serving Serving
+	// acct receives the served-decision stream for budget accounting and
+	// probation scoring: the attached Guard in single-process mode, the
+	// serving layer itself when it does its own routing (the fleet
+	// Coordinator forwards to per-worker guards), nil otherwise.
+	acct decisionAccountant
+	cfg  learnerConfig
 
 	trainer *lifecycle.OnlineTrainer
 	drift   *lifecycle.DriftDetector
@@ -173,16 +178,35 @@ func NewOnlineLearner(ctl *Controller, opts ...LearnerOption) *OnlineLearner {
 	if ctl == nil {
 		panic("uerl: NewOnlineLearner with nil controller")
 	}
+	return NewServingLearner(ctl, opts...)
+}
+
+// NewServingLearner attaches a continual-learning lifecycle to any
+// Serving implementation — a single-process *Controller (equivalent to
+// NewOnlineLearner) or a distributed fleet coordinator. WithGuard is only
+// meaningful for a *Controller serving layer (the guard wraps a concrete
+// controller); distributed layers carry their own per-worker guards and
+// route decision accounting themselves.
+func NewServingLearner(s Serving, opts ...LearnerOption) *OnlineLearner {
+	if s == nil {
+		panic("uerl: NewServingLearner with nil serving layer")
+	}
 	cfg := defaultLearnerConfig()
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	if cfg.guard != nil && cfg.guard.Controller() != ctl {
-		panic("uerl: WithGuard guard wraps a different controller than the learner serves")
+	if cfg.guard != nil {
+		ctl, ok := s.(*Controller)
+		if !ok {
+			panic("uerl: WithGuard requires a *Controller serving layer; distributed layers attach guards per worker")
+		}
+		if cfg.guard.Controller() != ctl {
+			panic("uerl: WithGuard guard wraps a different controller than the learner serves")
+		}
 	}
 	l := &OnlineLearner{
-		ctl: ctl,
-		cfg: cfg,
+		serving: s,
+		cfg:     cfg,
 		trainer: lifecycle.NewOnlineTrainer(lifecycle.TrainerConfig{
 			Agent: rl.AgentConfig{
 				StateLen:     FeatureDim,
@@ -216,11 +240,24 @@ func NewOnlineLearner(ctl *Controller, opts ...LearnerOption) *OnlineLearner {
 			Restartable:             cfg.restartable,
 		}),
 	}
+	if cfg.guard != nil {
+		l.acct = cfg.guard
+	} else if acc, ok := s.(decisionAccountant); ok {
+		l.acct = acc
+	}
 	return l
 }
 
-// Controller returns the served controller.
-func (l *OnlineLearner) Controller() *Controller { return l.ctl }
+// Controller returns the served controller when the serving layer is a
+// single-process *Controller; nil under a distributed serving layer (use
+// Serving for the general handle).
+func (l *OnlineLearner) Controller() *Controller {
+	ctl, _ := l.serving.(*Controller)
+	return ctl
+}
+
+// Serving returns the serving layer the learner drives.
+func (l *OnlineLearner) Serving() Serving { return l.serving }
 
 // Process ingests one telemetry event: it updates the controller's
 // feature state, records the served decision as training experience,
@@ -247,7 +284,7 @@ func (l *OnlineLearner) ProcessBatch(events []Event) {
 // history, and both shadow scoreboards. Caller holds l.mu.
 func (l *OnlineLearner) processUE(e Event) {
 	realized := l.cfg.cost(e.Node, e.Time)
-	l.ctl.ObserveEvent(e)
+	l.serving.ObserveEvent(e)
 	l.ues++
 	if p := l.pending[e.Node]; p != nil {
 		// Eq. 4: the UE cost lands on the reward of the preceding
@@ -262,10 +299,12 @@ func (l *OnlineLearner) processUE(e Event) {
 		l.shadowCand.UE(e.Node, e.Time, realized)
 		l.judgeShadow(e.Time)
 	}
-	if l.cfg.guard != nil {
+	if l.acct != nil {
 		// Probation charges the realized cost; a regression past
 		// tolerance rolls the serving policy back right here.
-		l.cfg.guard.ObserveUE(e.Node, e.Time, realized)
+		l.acct.ObserveUE(e.Node, e.Time, realized)
+	}
+	if l.cfg.guard != nil {
 		l.syncGuard()
 	}
 }
@@ -273,17 +312,35 @@ func (l *OnlineLearner) processUE(e Event) {
 // processDecision handles a non-UE event: a decision tick. Caller holds
 // l.mu.
 func (l *OnlineLearner) processDecision(e Event) {
-	l.ctl.ObserveEvent(e)
+	l.serving.ObserveEvent(e)
 	cost := l.cfg.cost(e.Node, e.Time)
-	d := l.ctl.Recommend(e.Node, e.Time, cost)
+	d := l.serving.Recommend(e.Node, e.Time, cost)
 	l.decisions++
-	if l.cfg.guard != nil {
+	if l.acct != nil {
 		// Budget accounting and probation scoring run off the served
 		// decision stream — the same decision the fleet just acted on.
-		l.cfg.guard.ObserveDecision(d)
+		l.acct.ObserveDecision(d)
 	}
 	if l.cfg.decisionObserver != nil {
 		l.cfg.decisionObserver(d)
+	}
+	if d.Degraded {
+		// The answer came from the empty feature state, not the node's
+		// real telemetry: it still serves (and is audited above), but it
+		// is not evidence — feeding its zero snapshot to the trainer or
+		// the drift detector would teach the lifecycle about the outage,
+		// not the fleet. The node's pending transition stays open and
+		// completes at its next healthy decision.
+		l.shadowInc.Decision(e.Node, e.Time, d.Mitigate())
+		if l.candidate != nil {
+			cd := l.candidate.Decide(Snapshot{Node: e.Node, Time: e.Time, Features: d.Features})
+			l.shadowCand.Decision(e.Node, e.Time, cd.Mitigate())
+			l.judgeShadow(e.Time)
+		}
+		if l.cfg.guard != nil {
+			l.syncGuard()
+		}
+		return
 	}
 
 	norm := features.Vector(d.Features).Normalized()
@@ -322,7 +379,7 @@ func (l *OnlineLearner) processDecision(e Event) {
 	if res, ok := l.drift.Observe(dv); ok && res.Drifted {
 		l.record(LifecycleEvent{
 			Kind: LifecycleDrift, Time: e.Time, Generation: l.generation,
-			ModelVersion: l.ctl.Policy().Version(), Score: res.Score,
+			ModelVersion: l.serving.Policy().Version(), Score: res.Score,
 			Detail: fmt.Sprintf("feature %d shifted (z=%.1f, window %d)", res.Dim, res.Score, res.Windows),
 		})
 		if l.candidate == nil && l.sinceRetrain >= l.cfg.minExperience {
@@ -337,7 +394,7 @@ func (l *OnlineLearner) processDecision(e Event) {
 // retrain runs one training epoch over the buffered live experience and
 // stages the result as a shadow candidate. Caller holds l.mu.
 func (l *OnlineLearner) retrain(at time.Time) {
-	incumbent := l.ctl.Policy()
+	incumbent := l.serving.Policy()
 	if rlp, ok := incumbent.(*rlPolicy); ok {
 		// Continual learning: start from the weights currently serving.
 		l.trainer.WarmStart(rlp.q.Net())
@@ -412,8 +469,15 @@ func (l *OnlineLearner) judgeShadow(at time.Time) {
 		ev.Kind, ev.Generation = LifecycleReject, l.generation
 		ev.Detail = "guard blocked promotion: " + ev.Detail
 	default:
-		incumbent := l.ctl.Policy()
-		l.ctl.SwapPolicy(l.candidate)
+		incumbent := l.serving.Policy()
+		if _, err := l.serving.DeployPolicy(l.candidate); err != nil {
+			// The rollout was refused (e.g. a worker quorum rejected the
+			// artifact): the incumbent is still serving, so the candidate
+			// is discarded as rejected rather than promoted.
+			ev.Kind, ev.Generation = LifecycleReject, l.generation
+			ev.Detail = "deploy rejected: " + err.Error() + ": " + ev.Detail
+			break
+		}
 		l.generation++
 		l.drift.Rebase()
 		if l.cfg.guard != nil {
@@ -442,7 +506,7 @@ func (l *OnlineLearner) guardApproves(at time.Time, advantage float64, decisions
 	}
 	ok, _ := l.cfg.guard.reviewPromotion(PromotionRequest{
 		Candidate:       l.candidate.Version(),
-		Incumbent:       l.ctl.Policy().Version(),
+		Incumbent:       l.serving.Policy().Version(),
 		Generation:      l.generation,
 		Time:            at,
 		ShadowAdvantage: advantage,
@@ -509,7 +573,7 @@ func (l *OnlineLearner) Stats() LearnerStats {
 		Epochs:             l.trainer.Epochs(),
 		Generation:         l.generation,
 		ShadowActive:       l.candidate != nil,
-		ServingVersion:     l.ctl.Policy().Version(),
+		ServingVersion:     l.serving.Policy().Version(),
 	}
 	if l.cfg.guard != nil {
 		gs := l.cfg.guard.Stats()

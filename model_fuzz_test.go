@@ -1,0 +1,72 @@
+package uerl
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzModelArtifact fuzzes the versioned model-artifact codec — the wire
+// format the distributed fleet stages policies over, so a byzantine or
+// corrupted artifact reaching a worker must be rejected, never served
+// and never a panic. Two properties:
+//
+//   - arbitrary bytes never panic LoadModel; invalid artifacts (tampered
+//     payloads, flipped versions, alien schemas) return an error;
+//   - any artifact that loads is stable under load → save → load → save:
+//     the second and third encodings are byte-identical (a drifting
+//     codec would re-version a model on every hop through the fleet).
+func FuzzModelArtifact(f *testing.F) {
+	seed := func(p Policy) {
+		var buf bytes.Buffer
+		if err := SaveModel(&buf, p); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// One artifact per serializable kind: header-only statics, an RL
+	// Q-network, and the two forest rules.
+	seed(AlwaysPolicy())
+	seed(NeverPolicy())
+	seed(testRLPolicy(f))
+	forest := testForest(f)
+	if rfp, err := newRFPolicy(forest, 0.4, &TrainingInfo{Budget: "ci", Seed: 7}); err == nil {
+		seed(rfp)
+	}
+	if myp, err := newMyopicPolicy(forest, 2.0/60, nil); err == nil {
+		seed(myp)
+	}
+	// Structural edge cases for the mutator: tampered version, alien
+	// schema/kind, truncation, garbage.
+	f.Add([]byte(`{"header":{"schema":1,"kind":"always","feature_dim":10,"version":"always.v1.deadbeef"}}`))
+	f.Add([]byte(`{"header":{"schema":99,"kind":"always","feature_dim":10,"version":"always.v1"}}`))
+	f.Add([]byte(`{"header":{"schema":1,"kind":"oracle","feature_dim":10}}`))
+	f.Add([]byte(`{"header":{"schema":1,"kind":"rl","feature_dim":10,"version":"rl.v1.0"},"network":{}`))
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := LoadModel(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: that is the contract for invalid artifacts
+		}
+		var first bytes.Buffer
+		if err := SaveModel(&first, p); err != nil {
+			t.Fatalf("re-saving a loaded policy failed: %v", err)
+		}
+		p2, err := LoadModel(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("own artifact does not reload: %v\n%s", err, first.Bytes())
+		}
+		if p2.Version() != p.Version() || p2.Kind() != p.Kind() {
+			t.Fatalf("round trip changed identity: %s/%s -> %s/%s",
+				p.Kind(), p.Version(), p2.Kind(), p2.Version())
+		}
+		var second bytes.Buffer
+		if err := SaveModel(&second, p2); err != nil {
+			t.Fatalf("second save failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("artifact codec is not a fixed point:\nfirst:\n%s\nsecond:\n%s",
+				first.Bytes(), second.Bytes())
+		}
+	})
+}

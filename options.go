@@ -234,7 +234,11 @@ func WithLearnerTrainWorkers(n int) LearnerOption {
 // probation scoring, submits every shadow-winning candidate to its
 // promotion gates (budget + approval hook), and merges its audit events
 // into the lifecycle log. The guard must wrap the same controller the
-// learner serves (NewOnlineLearner panics otherwise).
+// learner serves (NewOnlineLearner panics otherwise). WithGuard is a
+// single-process option: under a distributed serving layer
+// (NewServingLearner over a fleet coordinator) guards attach per worker
+// and the coordinator routes decision accounting to them, so passing
+// WithGuard there panics too.
 func WithGuard(g *Guard) LearnerOption {
 	return func(c *learnerConfig) { c.guard = g }
 }

@@ -40,6 +40,20 @@ if ! grep -q '^//uerl:deterministic' internal/scenario/spec.go; then
   exit 1
 fi
 
+echo "== uerlvet fleet serving layer (explicit pass) =="
+# The distributed serving layer promises a byte-identical decision
+# stream for a given seed + fault schedule at any GOMAXPROCS, so the
+# coordinator/transport/journal package must stay declared deterministic
+# — telemetry time and seed-forked RNGs only, no wall clock in failover
+# or backoff decisions. The grep fails loudly if the declaration is
+# dropped, which would silently exempt internal/fleet from the
+# determinism analyzers.
+go run ./cmd/uerlvet ./internal/fleet
+if ! grep -q '^//uerl:deterministic' internal/fleet/coordinator.go; then
+  echo "lint: internal/fleet lost its //uerl:deterministic package marker" >&2
+  exit 1
+fi
+
 echo "== uerlvet fixture self-check (each must produce findings) =="
 fixtures=(
   internal/analysis/determinism/testdata/src/det

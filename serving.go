@@ -1,0 +1,43 @@
+package uerl
+
+import "time"
+
+// Serving is the surface the online-learning lifecycle drives: ingest
+// telemetry, answer mitigation queries, report and deploy the serving
+// policy. A single-process *Controller implements it directly; the
+// internal/fleet Coordinator implements it across N worker processes
+// behind a transport boundary. The OnlineLearner is written against this
+// interface, so the same drift → retrain → shadow → deploy loop runs
+// unchanged over either deployment shape.
+//
+// Implementations must keep the Controller's contracts: Recommend is
+// side-effect-free w.r.t. node state, never blocks indefinitely and never
+// errors (distributed implementations degrade to a conservative
+// ActionNone Decision flagged Degraded instead — see Decision.Degraded),
+// and DeployPolicy never disturbs concurrent Recommend traffic.
+type Serving interface {
+	// ObserveEvent ingests one telemetry event. Events must arrive in
+	// non-decreasing time order per node.
+	ObserveEvent(e Event)
+	// Recommend answers a mitigation query from the node's current
+	// feature state (see Controller.Recommend).
+	Recommend(node int, at time.Time, potentialCostNodeHours float64) Decision
+	// Policy returns the currently served (committed) policy.
+	Policy() Policy
+	// DeployPolicy rolls out a new serving policy, returning the policy
+	// it replaced. A non-nil error means the rollout was rejected (e.g.
+	// a worker quorum refused the artifact) and the previous policy is
+	// still serving.
+	DeployPolicy(p Policy) (Policy, error)
+}
+
+// decisionAccountant is the served-decision accounting surface: budget
+// charging and probation scoring run off the stream of decisions the
+// fleet actually acted on, plus realized UE outcomes. *Guard implements
+// it for single-process serving; the fleet Coordinator implements it by
+// routing each call to the guard of the worker owning the node. The
+// OnlineLearner feeds whichever one the deployment provides.
+type decisionAccountant interface {
+	ObserveDecision(d Decision)
+	ObserveUE(node int, at time.Time, realizedCostNodeHours float64)
+}
